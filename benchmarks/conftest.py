@@ -1,0 +1,36 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one figure or table of the paper, asserts its
+qualitative shape, and writes the rendered text to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite a concrete
+artefact.  Simulations are deterministic, so one round is meaningful;
+``bench_once`` wraps ``benchmark.pedantic`` accordingly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def bench_once(benchmark, results_dir):
+    """Run ``fn`` once under pytest-benchmark and persist its text output."""
+
+    def _run(fn, *, name: str):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+        text = getattr(result, "text", None)
+        if text:
+            (results_dir / f"{name}.txt").write_text(text + "\n")
+        return result
+
+    return _run

@@ -1,0 +1,58 @@
+"""Ablation: CUTOFF-ratio sweep (paper §IV.E).
+
+The paper fixes the ratio at the average per-device contribution (15% for
+its 7-effective-device node).  Sweeping it shows the mechanism: at 0% all
+devices participate (slow ones drag in their unmodeled setup costs); as
+the ratio rises, weak devices are dropped and small compute-intensive
+offloads speed up; past a point the cutoff starts discarding genuinely
+useful capacity.
+"""
+
+from repro.bench.figures import FigureResult
+from repro.bench.runner import run_one
+from repro.bench.workloads import workload
+from repro.machine.presets import full_node
+from repro.util.tables import render_table
+
+RATIOS = (0.0, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60)
+
+
+def build() -> FigureResult:
+    machine = full_node()
+    rows = []
+    data = {}
+    for kernel_name in ("stencil", "matvec"):
+        times = {}
+        for ratio in RATIOS:
+            r = run_one(
+                machine, workload(kernel_name), "MODEL_2_AUTO",
+                cutoff_ratio=ratio,
+            )
+            times[ratio] = (r.total_time_ms, r.devices_used)
+            rows.append([kernel_name, f"{ratio:.0%}", r.total_time_ms,
+                         r.devices_used])
+        data[kernel_name] = times
+    text = render_table(
+        ["kernel", "cutoff", "time (ms)", "devices"],
+        rows,
+        title="CUTOFF-ratio sweep under MODEL_2_AUTO on the full node",
+    )
+    return FigureResult(name="cutoff sweep", grid=None, text=text,
+                        extra={"data": data})
+
+
+def test_cutoff_sweep(bench_once):
+    result = bench_once(build, name="ablation_cutoff_sweep")
+    print("\n" + result.text)
+    data = result.extra["data"]
+
+    stencil = data["stencil"]
+    # the paper's 15% point beats no-cutoff for the small stencil offload
+    assert stencil[0.15][0] < stencil[0.0][0]
+    # devices monotonically drop (never re-join) as the ratio rises
+    counts = [stencil[r][1] for r in RATIOS]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    matvec = data["matvec"]
+    # matvec-48k is the paper's 0.56x row: cutting devices hurts it
+    assert matvec[0.15][0] > matvec[0.0][0]

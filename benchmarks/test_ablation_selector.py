@@ -1,0 +1,64 @@
+"""Ablation: the algorithm-selection heuristics of paper §VI.D.
+
+For each kernel on the full heterogeneous node, compare the heuristically
+selected algorithm against the full 7-policy sweep: the selection should
+always avoid the worst policy and stay within a small factor of the best.
+"""
+
+from repro.bench.figures import FigureResult
+from repro.bench.runner import ALL_POLICIES, run_grid, run_one
+from repro.bench.workloads import workload
+from repro.machine.presets import full_node
+from repro.sched.selector import select_algorithm
+from repro.util.tables import render_table
+
+KERNELS = ("axpy", "sum", "matvec", "matmul", "stencil", "bm")
+
+
+def build() -> FigureResult:
+    machine = full_node()
+    grid = run_grid(
+        machine, {k: (lambda n=k: workload(n)) for k in KERNELS}
+    )
+    rows = []
+    stats = {}
+    for kernel in KERNELS:
+        choice = select_algorithm(workload(kernel), machine)
+        times = {p: grid.time_ms(kernel, p) for p in ALL_POLICIES}
+        chosen = times[choice]
+        best = min(times.values())
+        worst = max(times.values())
+        stats[kernel] = (choice, chosen, best, worst)
+        rows.append([kernel, choice, chosen, best, worst, chosen / best])
+    text = render_table(
+        ["kernel", "selected", "selected ms", "best ms", "worst ms", "ratio"],
+        rows,
+        title="Selector heuristics vs exhaustive policy sweep (full node)",
+    )
+    return FigureResult(name="selector", grid=grid, text=text,
+                        extra={"stats": stats})
+
+
+def test_selector_quality(bench_once):
+    result = bench_once(build, name="ablation_selector")
+    print("\n" + result.text)
+    for kernel, (choice, chosen, best, worst) in result.extra["stats"].items():
+        # never the worst policy
+        assert chosen < worst, (kernel, choice)
+    # on the large kernels the three-way rule lands close to the optimum
+    for kernel in ("axpy", "sum", "matvec", "matmul"):
+        choice, chosen, best, _ = result.extra["stats"][kernel]
+        assert chosen <= 3.0 * best, (kernel, choice)
+    # the data-intensive picks are essentially optimal
+    for kernel in ("axpy", "sum"):
+        choice, chosen, best, _ = result.extra["stats"][kernel]
+        assert choice == "MODEL_2_AUTO"
+        assert chosen <= 1.7 * best
+    # Known divergence, documented in EXPERIMENTS.md: on the sub-millisecond
+    # stencil-256/bm-256 offloads the paper's rule (MODEL_1 on heterogeneous
+    # devices) pays the MICs' unmodeled setup costs, exactly the effect the
+    # paper's own Table V stencil row (3.43x from CUTOFF) reveals.  The
+    # heuristic still avoids catastrophe:
+    for kernel in ("stencil", "bm"):
+        choice, chosen, best, worst = result.extra["stats"][kernel]
+        assert chosen <= 12.0 * best, (kernel, choice)

@@ -1,0 +1,67 @@
+"""Ablation: unified memory vs explicit data movement (paper §V.C).
+
+The paper observed "maximum of 10 and 18 times slowdown in our BLAS
+examples" with unified memory and therefore defaults to explicit copies.
+Two views: per-buffer transfer-time ratios, and whole offloads executed
+end-to-end on a 4-GPU node whose GPUs use unified instead of discrete
+memory.
+"""
+
+from repro.bench.figures import FigureResult
+from repro.bench.runner import run_one
+from repro.bench.workloads import workload
+from repro.machine.presets import homogeneous_node, k40_spec, k40_unified_spec
+from repro.memory.unified import UnifiedMemoryModel
+from repro.util.tables import render_table
+
+
+def build() -> FigureResult:
+    model = UnifiedMemoryModel()
+    link = k40_spec().link
+    rows = []
+    slowdowns = {}
+    for name in ("axpy", "matvec", "sum"):
+        k = workload(name)
+        nbytes = sum(k.arrays[m.name].nbytes for m in k.maps())
+        explicit = link.transfer_time(nbytes)
+        migrated = model.migration_time(link, nbytes)
+        slow = migrated / explicit
+        slowdowns[name] = slow
+        rows.append([name, nbytes / 2**20, explicit * 1e3, migrated * 1e3, slow])
+    text = render_table(
+        ["kernel", "MiB", "explicit (ms)", "unified (ms)", "slowdown"],
+        rows,
+        title="Unified memory vs explicit movement (BLAS-style buffers)",
+    )
+
+    # end-to-end: the same BLAS-1/2 offloads on unified-memory GPUs
+    discrete = homogeneous_node(4, k40_spec())
+    unified = homogeneous_node(4, k40_unified_spec())
+    offload_rows = []
+    offload_slow = {}
+    for name in ("axpy", "matvec", "sum"):
+        t_d = run_one(discrete, workload(name), "BLOCK").total_time_ms
+        t_u = run_one(unified, workload(name), "BLOCK").total_time_ms
+        offload_slow[name] = t_u / t_d
+        offload_rows.append([name, t_d, t_u, t_u / t_d])
+    text += "\n\n" + render_table(
+        ["kernel", "discrete (ms)", "unified (ms)", "offload slowdown"],
+        offload_rows,
+        title="Whole offloads, 4 GPUs, BLOCK",
+    )
+    return FigureResult(
+        name="unified", grid=None, text=text,
+        extra={"slowdowns": slowdowns, "offload_slowdowns": offload_slow},
+    )
+
+
+def test_unified_memory_slowdown(bench_once):
+    result = bench_once(build, name="ablation_unified")
+    print("\n" + result.text)
+    for name, slow in result.extra["slowdowns"].items():
+        # the paper's 10-18x window for transfer-dominated buffers
+        assert 8.0 <= slow <= 20.0, (name, slow)
+    for name, slow in result.extra["offload_slowdowns"].items():
+        # whole offloads include compute, so the end-to-end slowdown sits
+        # just below the pure-transfer ratio but stays dramatic
+        assert 5.0 <= slow <= 20.0, (name, slow)

@@ -1,0 +1,37 @@
+"""Fig. 5: offloading time on 4 identical K40s, 6 kernels x 7 policies.
+
+Paper shape: the compute-intensive kernels (matmul, stencil, bm) run best
+under BLOCK; the data-intensive / balanced kernels (axpy, sum, matvec) run
+better under SCHED_DYNAMIC (or guided), because chunked scheduling overlaps
+data movement with computation.
+"""
+
+from repro.bench.figures import fig5_gpu4
+
+COMPUTE_INTENSIVE = ("matmul", "stencil", "bm")
+DATA_SIDE = ("axpy", "sum", "matvec")
+CHUNKED = ("SCHED_DYNAMIC", "SCHED_GUIDED")
+
+
+def test_fig5(bench_once):
+    result = bench_once(fig5_gpu4, name="fig5")
+    print("\n" + result.text)
+    grid = result.grid
+
+    for kernel in COMPUTE_INTENSIVE:
+        best = grid.best_policy(kernel)
+        assert best in ("BLOCK", "MODEL_1_AUTO", "MODEL_2_AUTO"), (kernel, best)
+        # on identical devices the three upfront policies coincide; BLOCK
+        # must specifically beat both chunked policies
+        for chunked in CHUNKED:
+            assert grid.time_ms(kernel, "BLOCK") < grid.time_ms(kernel, chunked)
+
+    for kernel in DATA_SIDE:
+        chunked_best = min(grid.time_ms(kernel, p) for p in CHUNKED)
+        assert chunked_best < grid.time_ms(kernel, "BLOCK"), kernel
+
+    # profiling algorithms pay their stage-1 overhead but stay in the same
+    # order of magnitude as the best policy
+    for kernel in grid.results:
+        best = grid.time_ms(kernel, grid.best_policy(kernel))
+        assert grid.time_ms(kernel, "SCHED_PROFILE_AUTO") < 5 * best

@@ -1,0 +1,44 @@
+"""Fig. 6: accumulated breakdown (%) of offloading time on 4 GPUs, with
+the load-imbalance curve.
+
+Paper claims: scheduling overhead is small (barrier/imbalance "below 5% in
+average"), data movement dominates the data-intensive kernels and compute
+dominates the compute-intensive ones.
+"""
+
+import statistics
+
+from repro.bench.figures import fig6_breakdown
+
+
+def test_fig6(bench_once):
+    result = bench_once(fig6_breakdown, name="fig6")
+    print("\n" + result.text)
+    grid = result.grid
+    imbalances = result.extra["imbalances"]
+
+    # the paper's headline: average incurred load imbalance below 5%
+    assert statistics.mean(imbalances.values()) < 5.0
+
+    # identical devices + upfront split: essentially no imbalance
+    assert imbalances["matmul/BLOCK"] < 0.5
+    assert imbalances["axpy/BLOCK"] < 0.5
+
+    # per-kernel breakdown character: data movement dominates the
+    # data-intensive kernel, and the compute share grows with arithmetic
+    # intensity (matmul's compute fraction is far above axpy's; at the
+    # paper's full 6144 size it crosses 50%, see EXPERIMENTS.md)
+    axpy_block = grid.results["axpy"]["BLOCK"].breakdown_pct()
+    assert axpy_block["data"] > axpy_block["compute"]
+
+    mm_block = grid.results["matmul"]["BLOCK"].breakdown_pct()
+    assert mm_block["compute"] > 3 * axpy_block["compute"]
+
+    # pure scheduling (chunk-acquisition CAS) cost is tiny everywhere; the
+    # "sched" display bucket also carries one-off device setup, which can
+    # dominate sub-millisecond offloads, so assert on the raw trace field
+    for row in grid.results.values():
+        for r in row.values():
+            for t in r.participating:
+                total = t.busy_s + t.barrier_s
+                assert t.sched_s < 0.05 * total

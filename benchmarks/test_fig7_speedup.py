@@ -1,0 +1,31 @@
+"""Fig. 7: strong-scaling speedup on 1-4 K40 GPUs (best policy per point).
+
+Paper shape: all six kernels scale with GPU count; bandwidth-light kernels
+scale nearly linearly while transfer-heavy ones flatten.
+"""
+
+from repro.bench.figures import fig7_speedup
+
+
+def test_fig7(bench_once):
+    result = bench_once(fig7_speedup, name="fig7")
+    print("\n" + result.text)
+    speedups = result.extra["speedups"]
+
+    for kernel, series in speedups.items():
+        # normalised to 1 GPU and monotone non-decreasing
+        assert series[0] == 1.0
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:])), kernel
+        # everything gains from 4 GPUs...
+        assert series[3] > 1.25, kernel
+        # ...and nothing scales super-linearly
+        assert series[3] <= 4.0 + 1e-9, kernel
+
+    # the large 1-D streaming kernels scale close to linearly
+    assert speedups["axpy"][3] > 3.0
+    assert speedups["sum"][3] > 3.0
+    assert speedups["matvec"][3] > 3.0
+    # matmul scales on its compute; the tiny 256-point 2-D kernels are
+    # bounded by per-device setup/transfer and flatten earliest
+    assert speedups["matmul"][3] > 2.0
+    assert speedups["stencil"][3] < speedups["matvec"][3]

@@ -1,0 +1,31 @@
+"""Fig. 8: offloading time on 2 CPUs + 2 MICs (hybrid heterogeneous).
+
+Paper claims: using peak performance as a guideline (MODEL_1_AUTO) is
+effective for the computation-intensive kernels; for the other kernels
+SCHED_DYNAMIC is an effective option.
+"""
+
+from repro.bench.figures import fig8_cpu_mic
+
+COMPUTE_INTENSIVE = ("matmul", "stencil", "bm")
+DATA_SIDE = ("axpy", "sum", "matvec")
+
+
+def test_fig8(bench_once):
+    result = bench_once(fig8_cpu_mic, name="fig8")
+    print("\n" + result.text)
+    grid = result.grid
+
+    # MODEL_1 beats the naive even split for the flops-bound kernel, the
+    # case the paper highlights (capability-proportional distribution)
+    assert grid.time_ms("matmul", "MODEL_1_AUTO") < grid.time_ms("matmul", "BLOCK") * 1.3
+
+    # dynamic chunking is an effective option for the data-side kernels:
+    # always well ahead of BLOCK on this heterogeneous pair
+    for kernel in DATA_SIDE:
+        assert grid.time_ms(kernel, "SCHED_DYNAMIC") < grid.time_ms(kernel, "BLOCK")
+
+    # MODEL_1's blind spot: it overloads the MICs on data-intensive loops
+    # (it ignores the slow PCIe link), so MODEL_2 beats it decisively there
+    for kernel in ("axpy", "sum"):
+        assert grid.time_ms(kernel, "MODEL_2_AUTO") < 0.7 * grid.time_ms(kernel, "MODEL_1_AUTO")

@@ -1,0 +1,44 @@
+"""Fig. 9: offloading time on the full node (2 CPUs + 4 GPUs + 2 MICs),
+plus the minimum time with the 15% CUTOFF ratio applied.
+
+Paper claims: "when computational resources vary significantly in
+performance, SCHED_DYNAMIC yields decent performance for most kernels",
+and the CUTOFF column automatically selects appropriate devices.
+"""
+
+from repro.bench.figures import fig9_full_node
+
+KERNELS = ("axpy", "matvec", "matmul", "stencil", "sum", "bm")
+
+
+def test_fig9(bench_once):
+    result = bench_once(fig9_full_node, name="fig9")
+    print("\n" + result.text)
+    grid = result.grid
+
+    # SCHED_DYNAMIC is "decent for most kernels": never the worst policy,
+    # and within 3x of the per-kernel best for at least four of six
+    decent = 0
+    for kernel in KERNELS:
+        times = {p: grid.time_ms(kernel, p) for p in grid.policies}
+        dyn = times["SCHED_DYNAMIC"]
+        assert dyn < max(times.values()) or len(set(times.values())) == 1
+        if dyn <= 3.0 * min(times.values()):
+            decent += 1
+    assert decent >= 4
+
+    # dynamic chunking clearly beats the naive even split on this strongly
+    # heterogeneous machine for the data-side kernels
+    for kernel in ("axpy", "sum", "matvec"):
+        assert grid.time_ms(kernel, "SCHED_DYNAMIC") < grid.time_ms(kernel, "BLOCK")
+
+    # the CUTOFF column is the minimum over the model/profile algorithms
+    # with cutoff: it must never lose badly to the same minimum without
+    cutoff_best = result.extra["cutoff_best_ms"]
+    for kernel in KERNELS:
+        plain_min = min(
+            grid.time_ms(kernel, p)
+            for p in ("MODEL_1_AUTO", "MODEL_2_AUTO", "SCHED_PROFILE_AUTO",
+                      "MODEL_PROFILE_AUTO")
+        )
+        assert cutoff_best[kernel] < 2.5 * plain_min, kernel

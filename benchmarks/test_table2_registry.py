@@ -1,0 +1,32 @@
+"""Table II: the seven loop-distribution algorithms and their taxonomy."""
+
+from repro.bench.figures import FigureResult
+from repro.sched.registry import ALGORITHM_TABLE, SCHEDULERS
+from repro.util.tables import render_table
+
+
+def build_table2() -> FigureResult:
+    rows = [
+        [r.approach, r.algorithm, r.notation, r.stages, r.overhead,
+         r.load_balancing, r.description]
+        for r in ALGORITHM_TABLE
+    ]
+    text = render_table(
+        ["Approach", "Algorithm", "Notation", "Stages", "Overhead",
+         "Load balancing", "Description"],
+        rows,
+        title="Table II — loop distribution algorithms",
+    )
+    return FigureResult(name="Table II", grid=None, text=text)
+
+
+def test_table2(bench_once):
+    result = bench_once(build_table2, name="table2")
+    print("\n" + result.text)
+    # seven algorithms, three approaches, all constructible
+    assert len(ALGORITHM_TABLE) == 7
+    assert {r.approach for r in ALGORITHM_TABLE} == {
+        "Chunk Scheduling", "Analytical Modeling", "Sample Profiling"
+    }
+    for row in ALGORITHM_TABLE:
+        assert row.notation.split(",")[0] in SCHEDULERS

@@ -1,0 +1,41 @@
+"""Table IV: benchmark MemComp/DataComp ratios.
+
+Paper values: axpy 1.5/1.5, matvec 1+0.5/N / 0.5+1/N, matmul 1.5/N / 1.5/N,
+stencil 0.5 / 1/13, sum 1/1, bm 0.5/0.06.
+"""
+
+import pytest
+
+from repro.bench.figures import table4_characteristics
+from repro.bench.workloads import workload
+
+
+def test_table4(bench_once):
+    result = bench_once(table4_characteristics, name="table4")
+    print("\n" + result.text)
+    ratios = result.extra["ratios"]
+
+    assert ratios["axpy"] == (pytest.approx(1.5), pytest.approx(1.5))
+    assert ratios["sum"] == (pytest.approx(1.0), pytest.approx(1.0))
+
+    mv = workload("matvec")
+    assert ratios["matvec"][0] == pytest.approx(1 + 0.5 / mv.n_iters)
+    assert ratios["matvec"][1] == pytest.approx(0.5 + 1.0 / mv.n_iters)
+
+    mm = workload("matmul")
+    assert ratios["matmul"][0] == pytest.approx(1.5 / mm.n_iters)
+    assert ratios["matmul"][1] == pytest.approx(1.5 / mm.n_iters)
+
+    # paper rounds stencil MemComp to 0.5 and bm DataComp to 0.06
+    assert ratios["stencil"][0] == pytest.approx(0.54, abs=0.02)
+    assert ratios["stencil"][1] == pytest.approx(1 / 13)
+    assert ratios["bm"][0] == pytest.approx(0.5)
+    assert ratios["bm"][1] == pytest.approx(0.06, abs=0.01)
+
+    classes = result.extra["classes"]
+    assert classes["axpy"] == "data-intensive"
+    assert classes["sum"] == "data-intensive"
+    assert classes["matvec"] == "compute-data balanced"
+    assert classes["matmul"] == "compute-intensive"
+    assert classes["stencil"] == "compute-intensive"
+    assert classes["bm"] == "compute-intensive"

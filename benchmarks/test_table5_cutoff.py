@@ -1,0 +1,38 @@
+"""Table V: speedup from the 15% CUTOFF ratio on the full node.
+
+Paper reports speedups from 0.56x (matvec-48k — the model mispredicted and
+cut genuinely useful devices) to 3.43x (stencil2d-256 — slow devices'
+unmodeled per-offload overheads dwarfed their contribution), with
+per-workload surviving device sets.
+
+We assert the same structure: a wide spread containing both >1 wins and a
+<1 loss, mispredict-driven losses on the data-heavy kernels, and gains on
+the small compute-intensive kernels.  (At paper-size scales the matmul row
+also reproduces its "4 GPUs survive" set; see EXPERIMENTS.md.)
+"""
+
+from repro.bench.figures import table5_cutoff
+
+
+def test_table5(bench_once):
+    result = bench_once(table5_cutoff, name="table5")
+    print("\n" + result.text)
+    speedups = result.extra["speedups"]
+    survivors = result.extra["survivors"]
+
+    # the paper's overall claim: speedups span roughly 0.5x - 3.4x
+    assert min(speedups.values()) < 0.8          # cutoff can hurt...
+    assert max(speedups.values()) > 1.8          # ...and can win big
+    assert all(0.3 < s < 5.0 for s in speedups.values())
+
+    # matvec is the paper's mispredict row (0.56x): cutoff hurts it here too
+    assert speedups["matvec"] < 0.9
+
+    # the small compute-intensive kernels gain: dropping high-setup-cost
+    # devices that the models can't price wins outright
+    assert speedups["stencil"] > 1.5
+    assert speedups["axpy"] > 1.1
+
+    # every workload keeps at least one device, never more than all eight
+    for name, names in survivors.items():
+        assert 1 <= len(names) <= 8, name

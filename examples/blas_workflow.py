@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Iterative BLAS workflow: power iteration over a persistent data region.
+
+Each sweep of power iteration runs three distributed loops — ``y = A@x``,
+``s = sum(y*y)``, ``x = y/sqrt(s)`` — over the *same* matrix.  Without a
+``target data`` region every sweep re-transfers A over PCIe; inside one,
+A crosses the bus once for the whole solve (the construct the paper's
+Fig. 3 Jacobi relies on).  The distributed eigenvalue/eigenvector are
+verified against a serial NumPy power iteration.
+
+Run:  python examples/blas_workflow.py
+"""
+
+import numpy as np
+
+from repro import HompRuntime, full_node
+from repro.apps import PowerIteration
+
+N = 1024
+ITERS = 10
+
+
+def main() -> None:
+    runtime = HompRuntime(full_node())
+    # Deploy on the GPUs: mapping arrays onto devices that will never be
+    # given work (the MICs here) only wastes bus time.
+    gpus = "device(0:*:NVGPU)"
+    eig_ref, x_ref = PowerIteration(N, seed=3).reference(iters=ITERS)
+
+    naive = PowerIteration(N, seed=3).run(
+        runtime, iters=ITERS, devices=gpus, use_data_region=False
+    )
+    assert np.isclose(naive.eigenvalue, eig_ref)
+    print(f"without target data: {naive.sim_time_s * 1e3:8.3f} ms "
+          f"(A re-crosses PCIe on every sweep)")
+
+    solver = PowerIteration(N, seed=3)
+    region = solver.run(runtime, iters=ITERS, devices=gpus, use_data_region=True)
+    assert np.isclose(region.eigenvalue, eig_ref)
+    assert np.allclose(region.x, x_ref)
+    print(f"with target data:    {region.sim_time_s * 1e3:8.3f} ms "
+          f"(A mapped once for all {ITERS} sweeps)")
+    print(f"speedup: {naive.sim_time_s / region.sim_time_s:.2f}x — "
+          f"dominant |eigenvalue| = {region.eigenvalue:.4f}, verified vs NumPy")
+
+
+if __name__ == "__main__":
+    main()

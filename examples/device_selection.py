@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Device selection: extended device() clauses and the CUTOFF heuristic.
+
+Part 1 exercises the paper's extended ``device(...)`` specifiers
+(``0:*``, ``0:2,4:2``, type filters) against the full node.
+
+Part 2 sweeps the CUTOFF ratio for a compute-intensive kernel and shows
+how slow devices get dropped as the threshold rises — and that an
+over-aggressive cutoff eventually hurts (paper Table V's 0.56x row).
+
+Run:  python examples/device_selection.py
+"""
+
+from repro import HompRuntime, full_node, make_kernel, parse_device_clause
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    machine = full_node()
+    runtime = HompRuntime(machine)
+
+    print("device() clause expansion on", machine.name)
+    for clause in ("0:*", "0:2", "2:4", "0:2, 4:2", "0:*:NVGPU", "0:*:MIC", "*"):
+        ids = parse_device_clause(f"device({clause})", machine)
+        names = [machine[i].name for i in ids]
+        print(f"  device({clause:12s}) -> {names}")
+    print()
+
+    rows = []
+    for cutoff in (0.0, 0.05, 0.10, 0.15, 0.25, 0.40):
+        kernel = make_kernel("stencil", 256)
+        result = runtime.parallel_for(
+            kernel, schedule="MODEL_2_AUTO", cutoff_ratio=cutoff
+        )
+        used = ", ".join(sorted({t.name for t in result.participating}))
+        rows.append([f"{cutoff:.0%}", result.total_time_ms, result.devices_used, used])
+    print(render_table(
+        ["cutoff", "time (ms)", "devices", "participating"],
+        rows,
+        title="stencil-256 under MODEL_2_AUTO with rising CUTOFF",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""History-guided distribution (Qilin-style; the paper's future work).
+
+The analytical models carry a documented blind spot: their `Perf_dev`
+numbers come from microbenchmarks, and a KNC coprocessor's DGEMM
+microbenchmark (~850 GFLOP/s) wildly overstates what generic offloaded
+loops achieve (~250).  A HistoryDB learns true per-device throughput from
+past offloads and redistributes accordingly — and it can be persisted
+between runs like Qilin's database.
+
+Run:  python examples/history_tuning.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import HompRuntime, cpu_mic_node, make_kernel
+from repro.sched import DynamicScheduler, HistoryDB, HistoryScheduler, Model1Scheduler
+
+N = 512
+
+
+def main() -> None:
+    machine = cpu_mic_node()
+    runtime = HompRuntime(machine)
+
+    model = runtime.parallel_for(make_kernel("matmul", N), schedule=Model1Scheduler())
+    print(f"MODEL_1 (believes MIC microbenchmarks): {model.total_time_ms:8.3f} ms")
+    print(f"  per-device split: {model.iterations_per_device()}")
+
+    # one exploratory dynamic run teaches the database the truth
+    db = HistoryDB()
+    probe = runtime.parallel_for(
+        make_kernel("matmul", N), schedule=DynamicScheduler(0.05)
+    )
+    db.ingest(probe, machine)
+    print(f"SCHED_DYNAMIC probe:                    {probe.total_time_ms:8.3f} ms "
+          f"(learned {len(db)} distinct device-spec records)")
+
+    tuned = runtime.parallel_for(
+        make_kernel("matmul", N), schedule=HistoryScheduler(db)
+    )
+    print(f"HISTORY_AUTO (learned throughputs):     {tuned.total_time_ms:8.3f} ms")
+    print(f"  per-device split: {tuned.iterations_per_device()}")
+    print(f"  speedup over MODEL_1: {model.total_time_s / tuned.total_time_s:.2f}x")
+
+    # the database persists across sessions, like Qilin's
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "history.json"
+        db.save(path)
+        db2 = HistoryDB.load(path)
+        again = runtime.parallel_for(
+            make_kernel("matmul", N), schedule=HistoryScheduler(db2)
+        )
+        print(f"HISTORY_AUTO from persisted DB:         {again.total_time_ms:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

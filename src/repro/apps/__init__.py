@@ -1,0 +1,15 @@
+"""Higher-level applications built on the HOMP runtime (paper Fig. 3)."""
+
+from repro.apps.jacobi import JacobiSolver, JacobiResult, JacobiCopyKernel, JacobiSweepKernel
+from repro.apps.blas_chain import BlasChain, BlasChainResult, PowerIteration, PowerIterationResult
+
+__all__ = [
+    "JacobiSolver",
+    "JacobiResult",
+    "JacobiCopyKernel",
+    "JacobiSweepKernel",
+    "BlasChain",
+    "BlasChainResult",
+    "PowerIteration",
+    "PowerIterationResult",
+]

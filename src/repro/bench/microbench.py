@@ -1,0 +1,74 @@
+"""Microbenchmark profiling of machine constants (paper §IV.B.2).
+
+"For a machine, the last two machine factors are constants, each of which
+is obtained through microbenchmark profiling in our experiment."  This
+module plays that role against the simulated machine: probe a link with a
+ladder of message sizes, fit Hockney's (alpha, beta) back out, and probe a
+device's FLOP rate.  Round-tripping the fitted constants against the specs
+is both a self-check of the machine model and the calibration path a user
+would follow for a *new* machine description file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.interconnect import Link
+from repro.machine.spec import DeviceSpec
+from repro.model.hockney import fit_hockney
+
+__all__ = ["LinkProbe", "probe_link", "probe_device_rate"]
+
+DEFAULT_SIZES = tuple(2**k for k in range(10, 27, 2))  # 1 KiB .. 64 MiB
+
+
+@dataclass(frozen=True)
+class LinkProbe:
+    """Fitted link constants from a message-size ladder."""
+
+    sizes: tuple[int, ...]
+    times_s: tuple[float, ...]
+    alpha_s: float
+    beta_bytes_per_s: float
+
+    def bandwidth_gbs(self) -> float:
+        return self.beta_bytes_per_s / 1e9
+
+
+def probe_link(
+    link: Link,
+    *,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> LinkProbe:
+    """Measure transfer times over a size ladder and fit Hockney constants.
+
+    ``noise`` adds multiplicative lognormal jitter to each measurement,
+    modelling a real timing run; the fit should still recover the specs
+    within a few percent (tested in ``tests/bench``).
+    """
+    rng = np.random.default_rng(seed)
+    times = []
+    for s in sizes:
+        t = link.transfer_time(s)
+        if noise > 0:
+            t *= float(rng.lognormal(0.0, noise))
+        times.append(t)
+    alpha, beta = fit_hockney(list(sizes), times)
+    return LinkProbe(
+        sizes=tuple(sizes),
+        times_s=tuple(times),
+        alpha_s=alpha,
+        beta_bytes_per_s=beta,
+    )
+
+
+def probe_device_rate(spec: DeviceSpec, *, flops: float = 1e9) -> float:
+    """Apparent GFLOP/s of a compute-bound microbenchmark on a device."""
+    if flops <= 0:
+        raise ValueError(f"flops must be > 0, got {flops}")
+    t = flops / (spec.sustained_gflops * 1e9) + spec.launch_overhead_s
+    return flops / t / 1e9

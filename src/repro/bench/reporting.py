@@ -1,0 +1,40 @@
+"""CSV export of benchmark results for downstream plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.bench.runner import PolicyGrid
+from repro.engine.trace import OffloadResult
+
+__all__ = ["grid_to_csv", "breakdown_to_csv"]
+
+
+def grid_to_csv(grid: PolicyGrid) -> str:
+    """One row per kernel, one time-in-ms column per policy."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["kernel", *grid.policies])
+    for kernel, row in grid.results.items():
+        writer.writerow(
+            [kernel, *(f"{row[p].total_time_ms:.6f}" for p in grid.policies)]
+        )
+    return buf.getvalue()
+
+
+def breakdown_to_csv(result: OffloadResult) -> str:
+    """One row per participating device with the Fig.-6 buckets."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["device", "iters", "chunks", "setup_s", "sched_s", "xfer_in_s",
+         "xfer_out_s", "compute_s", "barrier_s", "finish_s"]
+    )
+    for t in result.participating:
+        writer.writerow(
+            [t.name, t.iters, t.chunks, f"{t.setup_s:.9f}", f"{t.sched_s:.9f}",
+             f"{t.xfer_in_s:.9f}", f"{t.xfer_out_s:.9f}",
+             f"{t.compute_s:.9f}", f"{t.barrier_s:.9f}", f"{t.finish_s:.9f}"]
+        )
+    return buf.getvalue()

@@ -1,0 +1,129 @@
+"""Grid runner: kernels x scheduling policies on a machine, with checks.
+
+Every run verifies the numeric output against the kernel's serial
+reference — a benchmark that silently computes the wrong answer is worse
+than a failing one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.trace import OffloadResult
+from repro.errors import OffloadError
+from repro.kernels.base import LoopKernel
+from repro.machine.spec import MachineSpec
+from repro.runtime.runtime import HompRuntime
+
+__all__ = ["PolicyGrid", "run_one", "run_grid", "verify_result"]
+
+#: The seven Table II algorithms in the order the figures list them.
+ALL_POLICIES = (
+    "BLOCK",
+    "SCHED_DYNAMIC",
+    "SCHED_GUIDED",
+    "MODEL_1_AUTO",
+    "MODEL_2_AUTO",
+    "SCHED_PROFILE_AUTO",
+    "MODEL_PROFILE_AUTO",
+)
+
+
+def verify_result(kernel: LoopKernel, result: OffloadResult, *, rtol=1e-9) -> None:
+    """Assert the distributed output matches the serial reference."""
+    ref = kernel.reference()
+    if isinstance(ref, dict):
+        reduction_ref = ref.pop("__reduction__", None)
+        for name, expected in ref.items():
+            got = kernel.arrays[name]
+            if not np.allclose(got, expected, rtol=rtol, atol=1e-12):
+                raise OffloadError(
+                    f"{kernel.name}/{result.algorithm}: array {name!r} does not "
+                    "match the serial reference"
+                )
+        if reduction_ref is not None and result.reduction is not None:
+            if not np.isclose(result.reduction, reduction_ref, rtol=1e-6):
+                raise OffloadError(
+                    f"{kernel.name}/{result.algorithm}: reduction mismatch"
+                )
+    else:
+        if result.reduction is None or not np.isclose(
+            result.reduction, float(ref), rtol=1e-6
+        ):
+            raise OffloadError(
+                f"{kernel.name}/{result.algorithm}: reduction "
+                f"{result.reduction} != reference {ref}"
+            )
+
+
+def run_one(
+    machine: MachineSpec,
+    kernel: LoopKernel,
+    policy: str,
+    *,
+    cutoff_ratio: float = 0.0,
+    seed: int = 0,
+    verify: bool = True,
+) -> OffloadResult:
+    """One kernel under one policy, verified."""
+    rt = HompRuntime(machine, seed=seed)
+    result = rt.parallel_for(kernel, schedule=policy, cutoff_ratio=cutoff_ratio)
+    if verify:
+        verify_result(kernel, result)
+    return result
+
+
+@dataclass
+class PolicyGrid:
+    """Results of a kernels x policies sweep."""
+
+    machine_name: str
+    policies: tuple[str, ...]
+    #: results[kernel_name][policy] -> OffloadResult
+    results: dict[str, dict[str, OffloadResult]] = field(default_factory=dict)
+
+    def time_ms(self, kernel: str, policy: str) -> float:
+        return self.results[kernel][policy].total_time_ms
+
+    def best_policy(self, kernel: str) -> str:
+        row = self.results[kernel]
+        return min(row, key=lambda p: row[p].total_time_s)
+
+    def rows(self) -> list[list[object]]:
+        out: list[list[object]] = []
+        for kname, row in self.results.items():
+            out.append([kname] + [row[p].total_time_ms for p in self.policies])
+        return out
+
+
+def run_grid(
+    machine: MachineSpec,
+    kernels: dict[str, "callable"],
+    *,
+    policies: tuple[str, ...] = ALL_POLICIES,
+    cutoff_ratio: float = 0.0,
+    seed: int = 0,
+    verify: bool = True,
+) -> PolicyGrid:
+    """Sweep kernel factories over policies.
+
+    ``kernels`` maps display name -> zero-arg factory returning a *fresh*
+    kernel (runs mutate output arrays, so each cell needs its own).
+    """
+    grid = PolicyGrid(machine_name=machine.name, policies=tuple(policies))
+    for kname, factory in kernels.items():
+        row: dict[str, OffloadResult] = {}
+        for policy in policies:
+            kernel = factory()
+            row[policy] = run_one(
+                machine,
+                kernel,
+                policy,
+                cutoff_ratio=cutoff_ratio,
+                seed=seed,
+                verify=verify,
+            )
+        grid.results[kname] = row
+    return grid

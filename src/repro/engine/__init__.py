@@ -1,0 +1,22 @@
+"""Offload execution engine.
+
+The simulator (`repro.engine.simulator`) replays the paper's Fig. 4 proxy
+thread per device in deterministic virtual time, with a three-stage
+pipeline (copy-in / compute / copy-out engines) so multi-chunk schedulers
+overlap data movement with computation like a real double-buffered
+runtime.  A real-thread executor (`repro.engine.threaded`) is provided as
+an extension for actually-parallel host execution.
+"""
+
+from repro.engine.trace import DeviceTrace, OffloadResult
+from repro.engine.simulator import OffloadEngine
+from repro.engine.events import ChunkEvent, Timeline, render_timeline
+
+__all__ = [
+    "DeviceTrace",
+    "OffloadResult",
+    "OffloadEngine",
+    "ChunkEvent",
+    "Timeline",
+    "render_timeline",
+]

@@ -1,0 +1,286 @@
+"""Deterministic discrete-event execution of one offloaded loop.
+
+Each device is the paper's Fig. 4 proxy thread, modelled as three pipeline
+engines in virtual time:
+
+* a copy-in engine (host -> device DMA),
+* a compute engine,
+* a copy-out engine (device -> host DMA),
+
+A proxy acquires a chunk (paying the scheduler's compare-and-swap
+overhead), stages its aligned input over the link, computes, and returns
+the output.  Discrete-memory devices are double-buffered: the proxy may
+request its next chunk as soon as the current chunk's copy-in finished and
+at most one chunk is queued behind the running one — that is how dynamic
+chunking overlaps data movement with computation (the effect the paper
+credits for SCHED_DYNAMIC's wins on data-intensive kernels).  Host devices
+run their chunks serially (the proxy *is* the compute resource).
+
+Chunk acquisition across devices is linearised by a priority queue on
+virtual request time, reproducing the ordering a real CAS-based shared
+cursor produces, but deterministically.  The kernel is executed
+numerically for every chunk (through the DeviceBuffer path), so the
+simulated timeline and the real numeric result come from the same chunk
+stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.engine.events import ChunkEvent, Timeline
+from repro.engine.trace import DeviceTrace, OffloadResult
+from repro.errors import OffloadError
+from repro.kernels.base import LoopKernel
+from repro.machine.device import Device
+from repro.machine.spec import MachineSpec, MemoryKind
+from repro.memory.unified import UnifiedMemoryModel
+from repro.sched.base import BARRIER, LoopScheduler, SchedContext
+from repro.util.ranges import IterRange
+
+__all__ = ["OffloadEngine"]
+
+
+@dataclass
+class _DevState:
+    device: Device
+    trace: DeviceTrace
+    copy_in_free: float = 0.0
+    comp_free: float = 0.0
+    copy_out_free: float = 0.0
+    finish: float = 0.0
+    first_chunk: bool = True
+    done: bool = False
+    at_barrier: float | None = None
+
+
+@dataclass
+class OffloadEngine:
+    """Runs one kernel offload under one scheduling algorithm."""
+
+    machine: MachineSpec
+    seed: int = 0
+    execute_numerically: bool = True
+    collect_chunks: bool = False
+    record_events: bool = False
+    #: Without the paper's `parallel target` composite (§III.4), offloading
+    #: to the target devices is serialised: one host thread stages every
+    #: device's input in turn.  True = one shared dispatch resource.
+    serialize_offload: bool = False
+    #: Ablation switch: with double buffering off, a proxy only requests
+    #: its next chunk after the current one fully drains (copy-out done),
+    #: removing all transfer/compute overlap within a device.
+    double_buffer: bool = True
+    #: Cost model for devices with UNIFIED memory (paper §V.C): shared
+    #: semantics, but pages migrate over the bus at driver speed.
+    unified_model: UnifiedMemoryModel = field(default_factory=UnifiedMemoryModel)
+    _chunk_log: list[tuple[int, IterRange]] = field(default_factory=list)
+    _events: list[ChunkEvent] = field(default_factory=list)
+
+    def run(
+        self,
+        kernel: LoopKernel,
+        scheduler: LoopScheduler,
+        *,
+        cutoff_ratio: float = 0.0,
+    ) -> OffloadResult:
+        devices = [Device(i, spec) for i, spec in enumerate(self.machine.devices)]
+        for dev in devices:
+            dev.reseed(self.seed)
+        ctx = SchedContext(
+            kernel=kernel, devices=devices, cutoff_ratio=cutoff_ratio
+        )
+        scheduler.start(ctx)
+        self._chunk_log.clear()
+        self._events.clear()
+
+        states = [
+            _DevState(device=d, trace=DeviceTrace(devid=d.devid, name=d.name))
+            for d in devices
+        ]
+        reduction = kernel.identity()
+        covered = 0
+        dispatch_free = 0.0  # shared host dispatcher (serialize_offload)
+        # Devices sharing a PCIe slot contend for one bus resource.
+        group_free: dict[str, float] = {}
+
+        # (request_time, devid): pop the earliest requester; devid breaks ties
+        # deterministically.
+        heap: list[tuple[float, int]] = [(0.0, d.devid) for d in devices]
+        heapq.heapify(heap)
+
+        def active_ids() -> list[int]:
+            return [s.device.devid for s in states if not s.done]
+
+        def release_barrier() -> None:
+            waiting = [s for s in states if s.at_barrier is not None]
+            t_rel = max(s.at_barrier for s in waiting)  # type: ignore[type-var]
+            for s in waiting:
+                s.trace.barrier_s += t_rel - s.at_barrier  # type: ignore[operator]
+                s.at_barrier = None
+                heapq.heappush(heap, (t_rel, s.device.devid))
+            scheduler.at_barrier()
+
+        while heap:
+            t, devid = heapq.heappop(heap)
+            st = states[devid]
+            if st.done:
+                continue
+            decision = scheduler.next(devid)
+
+            if decision is None:
+                st.done = True
+                # If everyone else is parked at the barrier, release them.
+                pending = [s for s in states if not s.done and s.at_barrier is None]
+                waiting = [s for s in states if s.at_barrier is not None]
+                if not pending and waiting:
+                    release_barrier()
+                continue
+
+            if decision is BARRIER:
+                st.at_barrier = max(t, st.finish)
+                pending = [
+                    s for s in states if not s.done and s.at_barrier is None
+                ]
+                if not pending:
+                    release_barrier()
+                continue
+
+            chunk: IterRange = decision  # type: ignore[assignment]
+            if chunk.empty:
+                raise OffloadError(
+                    f"{scheduler.notation} handed an empty chunk to device {devid}"
+                )
+            covered += len(chunk)
+            if self.collect_chunks:
+                self._chunk_log.append((devid, chunk))
+
+            spec = st.device.spec
+            cost = kernel.chunk_cost(chunk)
+            bytes_in = cost.xfer_in_bytes + (
+                cost.replicated_in_bytes if st.first_chunk else 0.0
+            )
+            t_setup = spec.setup_overhead_s if st.first_chunk else 0.0
+            st.first_chunk = False
+
+            t_sched = spec.sched_overhead_s
+            acquire_end = t + t_sched + t_setup
+            if spec.memory is MemoryKind.UNIFIED:
+                # Unified memory: no explicit copies in the program, but
+                # the pages still cross the bus — at driver-migration
+                # speed (the 10-18x of paper section V.C).
+                t_in = self.unified_model.migration_time(spec.link, bytes_in)
+                t_out = self.unified_model.migration_time(
+                    spec.link, cost.xfer_out_bytes
+                )
+            else:
+                t_in = st.device.transfer_time(bytes_in)
+                t_out = st.device.transfer_time(cost.xfer_out_bytes)
+            t_comp = st.device.compute_time(cost.flops, cost.mem_bytes)
+
+            group = spec.pcie_group
+            in_start = max(acquire_end, st.copy_in_free)
+            if self.serialize_offload:
+                in_start = max(in_start, dispatch_free)
+            if group is not None:
+                in_start = max(in_start, group_free.get(group, 0.0))
+            in_end = in_start + t_in
+            if self.serialize_offload:
+                dispatch_free = in_end
+            if group is not None and t_in > 0:
+                group_free[group] = in_end
+            comp_prev_end = st.comp_free
+            comp_start = max(in_end, st.comp_free)
+            comp_end = comp_start + t_comp
+            out_start = max(comp_end, st.copy_out_free)
+            if group is not None:
+                out_start = max(out_start, group_free.get(group, 0.0))
+            out_end = out_start + t_out
+            if group is not None and t_out > 0:
+                group_free[group] = out_end
+
+            st.copy_in_free = in_end
+            st.comp_free = comp_end
+            st.copy_out_free = out_end
+            st.finish = max(st.finish, out_end)
+
+            if self.record_events:
+                self._events.append(
+                    ChunkEvent(
+                        devid=devid,
+                        device_name=st.device.name,
+                        chunk=chunk,
+                        acquire_t=t,
+                        in_start=in_start,
+                        in_end=in_end,
+                        comp_start=comp_start,
+                        comp_end=comp_end,
+                        out_start=out_start,
+                        out_end=out_end,
+                    )
+                )
+
+            tr = st.trace
+            tr.setup_s += t_setup
+            tr.sched_s += t_sched
+            tr.xfer_in_s += t_in
+            tr.xfer_out_s += t_out
+            tr.compute_s += t_comp
+            tr.chunks += 1
+            tr.iters += len(chunk)
+
+            if self.execute_numerically:
+                partial = kernel.execute_chunk(
+                    chunk, shared=st.device.shares_host_memory
+                )
+                if kernel.is_reduction:
+                    reduction = kernel.combine(reduction, partial)
+
+            scheduler.observe(devid, chunk, t_in + t_comp + t_out)
+
+            if st.device.shares_host_memory:
+                # The host proxy is the compute resource: strictly serial.
+                next_req = comp_end
+            elif self.double_buffer:
+                # Double buffering: next request once this chunk's input is
+                # staged and at most one chunk is queued behind the running
+                # one.
+                next_req = max(in_end, comp_prev_end)
+            else:
+                # Ablation: single-buffered proxy drains the whole pipeline
+                # before asking for more work.
+                next_req = out_end
+            heapq.heappush(heap, (next_req, devid))
+
+        if covered != kernel.n_iters:
+            raise OffloadError(
+                f"{scheduler.notation} covered {covered} of {kernel.n_iters} "
+                "iterations"
+            )
+
+        participating = [s for s in states if s.trace.participated]
+        total = max((s.finish for s in participating), default=0.0)
+        for s in participating:
+            # Closing barrier: everyone waits for the slowest device.
+            s.trace.barrier_s += total - s.finish
+            s.trace.finish_s = s.finish
+
+        return OffloadResult(
+            kernel_name=kernel.name,
+            algorithm=scheduler.describe(),
+            total_time_s=total,
+            traces=[s.trace for s in states],
+            reduction=reduction if kernel.is_reduction else None,
+            meta={"seed": self.seed, "machine": self.machine.name},
+        )
+
+    @property
+    def chunk_log(self) -> list[tuple[int, IterRange]]:
+        """(devid, chunk) assignments of the last run (collect_chunks=True)."""
+        return list(self._chunk_log)
+
+    @property
+    def timeline(self) -> Timeline:
+        """Chunk-event timeline of the last run (record_events=True)."""
+        return Timeline(events=list(self._events))

@@ -1,0 +1,112 @@
+"""Per-device execution traces and the offload result.
+
+Fig. 6 of the paper breaks each device's offloading time into operations
+(data movement, compute, scheduling, barrier waits) and overlays the
+incurred load imbalance.  :class:`DeviceTrace` accumulates those buckets
+as the simulator charges costs; :class:`OffloadResult` derives the
+figure's percentages and the imbalance metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import seconds_to_ms
+
+__all__ = ["DeviceTrace", "OffloadResult"]
+
+
+@dataclass
+class DeviceTrace:
+    """Accumulated time buckets for one device across one offload."""
+
+    devid: int
+    name: str
+    setup_s: float = 0.0  # one-off device setup (buffer alloc, stream init)
+    sched_s: float = 0.0
+    xfer_in_s: float = 0.0
+    xfer_out_s: float = 0.0
+    compute_s: float = 0.0
+    barrier_s: float = 0.0
+    chunks: int = 0
+    iters: int = 0
+    finish_s: float = 0.0  # when this device's pipeline drained
+
+    @property
+    def participated(self) -> bool:
+        return self.chunks > 0
+
+    @property
+    def data_movement_s(self) -> float:
+        return self.xfer_in_s + self.xfer_out_s
+
+    @property
+    def busy_s(self) -> float:
+        return self.setup_s + self.sched_s + self.data_movement_s + self.compute_s
+
+    def breakdown_pct(self) -> dict[str, float]:
+        """Share of each bucket in this device's total offload time."""
+        total = self.busy_s + self.barrier_s
+        if total <= 0:
+            return {"sched": 0.0, "data": 0.0, "compute": 0.0, "barrier": 0.0}
+        return {
+            "sched": 100.0 * (self.sched_s + self.setup_s) / total,
+            "data": 100.0 * self.data_movement_s / total,
+            "compute": 100.0 * self.compute_s / total,
+            "barrier": 100.0 * self.barrier_s / total,
+        }
+
+
+@dataclass
+class OffloadResult:
+    """Outcome of one offloaded parallel loop."""
+
+    kernel_name: str
+    algorithm: str
+    total_time_s: float
+    traces: list[DeviceTrace]
+    reduction: float | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_time_ms(self) -> float:
+        return seconds_to_ms(self.total_time_s)
+
+    @property
+    def participating(self) -> list[DeviceTrace]:
+        return [t for t in self.traces if t.participated]
+
+    @property
+    def devices_used(self) -> int:
+        return len(self.participating)
+
+    def imbalance_pct(self) -> float:
+        """Average idle share over participating devices (the Fig. 6 curve).
+
+        A device finishing at ``finish_s`` while the offload lasts
+        ``total_time_s`` idled for the difference; imbalance is the mean of
+        that idle fraction.  0% = perfectly balanced.
+        """
+        parts = self.participating
+        if not parts or self.total_time_s <= 0:
+            return 0.0
+        idle = [
+            max(0.0, self.total_time_s - t.finish_s) / self.total_time_s
+            for t in parts
+        ]
+        return 100.0 * sum(idle) / len(idle)
+
+    def breakdown_pct(self) -> dict[str, float]:
+        """Average Fig.-6-style breakdown over participating devices."""
+        parts = self.participating
+        if not parts:
+            return {"sched": 0.0, "data": 0.0, "compute": 0.0, "barrier": 0.0}
+        keys = ("sched", "data", "compute", "barrier")
+        acc = {k: 0.0 for k in keys}
+        for t in parts:
+            for k, v in t.breakdown_pct().items():
+                acc[k] += v
+        return {k: v / len(parts) for k, v in acc.items()}
+
+    def iterations_per_device(self) -> dict[str, int]:
+        return {t.name: t.iters for t in self.traces}

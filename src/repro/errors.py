@@ -1,0 +1,69 @@
+"""Exception hierarchy for the HOMP reproduction.
+
+All library errors derive from :class:`HompError` so callers can catch one
+base type.  Subclasses are grouped by subsystem: parsing of the HOMP
+directive syntax, machine/device configuration, data distribution and
+alignment, and scheduling.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HompError",
+    "DirectiveSyntaxError",
+    "MachineSpecError",
+    "DeviceError",
+    "MappingError",
+    "DistributionError",
+    "AlignmentError",
+    "SchedulingError",
+    "OffloadError",
+]
+
+
+class HompError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DirectiveSyntaxError(HompError, ValueError):
+    """A HOMP directive string could not be parsed.
+
+    Carries the offending ``text`` and a best-effort character ``position``
+    to aid diagnostics, mirroring a compiler front-end error.
+    """
+
+    def __init__(self, message: str, *, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if text:
+            where = f" at position {position}" if position is not None else ""
+            message = f"{message}{where}: {text!r}"
+        super().__init__(message)
+
+
+class MachineSpecError(HompError, ValueError):
+    """A machine description file or device spec is invalid."""
+
+
+class DeviceError(HompError):
+    """A device was addressed that does not exist or cannot execute."""
+
+
+class MappingError(HompError, ValueError):
+    """A ``map`` clause is inconsistent with the mapped array."""
+
+
+class DistributionError(HompError, ValueError):
+    """A distribution policy cannot be applied to the given region."""
+
+
+class AlignmentError(DistributionError):
+    """An ALIGN relationship is unresolvable (cycle, missing alignee, ...)."""
+
+
+class SchedulingError(HompError):
+    """A loop-distribution algorithm failed or was misconfigured."""
+
+
+class OffloadError(HompError):
+    """An offload region failed during execution."""

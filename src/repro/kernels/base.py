@@ -1,0 +1,334 @@
+"""Kernel abstraction: a parallel loop + its data maps + analytic costs.
+
+A :class:`LoopKernel` describes one offloadable parallel loop the way a
+HOMP ``parallel target`` region does:
+
+* an iteration space (always 1-D here; 2-D loops are collapsed over rows,
+  exactly like the paper's ``collapse(2)`` Jacobi loops),
+* a set of :class:`MapSpec` entries — which arrays it touches, in which
+  direction, partitioned how, with what halo,
+* analytic per-iteration costs (FLOPs, device-memory bytes, bus bytes)
+  that feed both the simulator's clock and the Table IV ratios,
+* the *real* NumPy computation, executed per chunk through
+  :class:`~repro.memory.buffer.DeviceBuffer` objects so the whole
+  index-translation / copy-in / copy-out path is exercised numerically.
+
+``execute_chunk(rows, shared=...)`` is what a device proxy calls for each
+chunk it acquires; outputs land back in the kernel's host arrays, and
+:meth:`check` compares them against a serial reference run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist.policy import Full, Policy
+from repro.errors import MappingError
+from repro.memory.buffer import DeviceBuffer
+from repro.memory.space import MapDirection
+from repro.model.kernel_model import KernelCosts
+from repro.model.roofline import IntensityClass
+from repro.util.ranges import IterRange
+
+__all__ = ["MapSpec", "ChunkCost", "LoopKernel"]
+
+ELEM = 8  # double precision throughout, as in the paper's kernels
+
+
+@dataclass(frozen=True)
+class MapSpec:
+    """One ``map(direction: name[...] partition([policies]) halo(lo,hi))``."""
+
+    name: str
+    direction: MapDirection
+    policies: tuple[Policy, ...]
+    halo: tuple[int, int] = (0, 0)
+
+    def __post_init__(self) -> None:
+        if self.halo[0] < 0 or self.halo[1] < 0:
+            raise MappingError(f"map {self.name!r}: halo must be >= 0")
+
+    @property
+    def partitioned(self) -> bool:
+        """True when dim 0 is split across devices (ALIGN'd to the loop, or
+        statically BLOCK/CYCLIC partitioned)."""
+        return not isinstance(self.policies[0], Full)
+
+    @property
+    def replicated(self) -> bool:
+        return all(isinstance(p, Full) for p in self.policies)
+
+
+@dataclass(frozen=True)
+class ChunkCost:
+    """Simulated costs of one chunk on one device."""
+
+    flops: float
+    mem_bytes: float
+    xfer_in_bytes: float
+    xfer_out_bytes: float
+    replicated_in_bytes: float  # charged only on a device's first chunk
+
+
+@dataclass
+class _RunStats:
+    chunks: int = 0
+    iterations: int = 0
+
+
+class LoopKernel(ABC):
+    """Base class for offloadable parallel-loop kernels."""
+
+    #: short name used in figures/tables (e.g. "axpy")
+    name: str = "kernel"
+    #: loop label referenced by ALIGN(...) in directives
+    label: str = "loop"
+    #: Table IV characterisation the paper assigns this kernel
+    table_class: IntensityClass = IntensityClass.BALANCED
+    #: Multiplier on effective device-memory traffic when *executing* (not
+    #: in the Table IV accounting): kernels whose access pattern runs below
+    #: streaming bandwidth (e.g. atomics-based reductions on Kepler-era
+    #: GPUs) set this > 1.
+    device_mem_factor: float = 1.0
+
+    def __init__(self, n_iters: int, arrays: dict[str, np.ndarray]):
+        if n_iters <= 0:
+            raise ValueError(f"{self.name}: n_iters must be positive")
+        self.n_iters = int(n_iters)
+        self.arrays = dict(arrays)
+        # Pristine inputs: reference() must see pre-run values even for
+        # arrays the kernel updates in place (tofrom maps).
+        self._initial = {k: v.copy() for k, v in self.arrays.items()}
+        self.stats = _RunStats()
+        # Per-array dim-0 policy overrides (set_partition) and arrays held
+        # resident by an enclosing target-data region (no per-chunk bus
+        # traffic for them).
+        self._policy_overrides: dict[str, Policy] = {}
+        self.resident: frozenset[str] = frozenset()
+        for m in self.maps():
+            if m.name not in self.arrays:
+                raise MappingError(f"{self.name}: map names unknown array {m.name!r}")
+            arr = self.arrays[m.name]
+            if len(m.policies) != arr.ndim:
+                raise MappingError(
+                    f"{self.name}: map {m.name!r} has {len(m.policies)} policies "
+                    f"for a rank-{arr.ndim} array"
+                )
+
+    # -- declarative surface -------------------------------------------------
+
+    @property
+    def iter_space(self) -> IterRange:
+        return IterRange(0, self.n_iters)
+
+    @abstractmethod
+    def maps(self) -> tuple[MapSpec, ...]:
+        """The kernel's map clauses (as declared)."""
+
+    def set_partition(self, name: str, policy: Policy) -> None:
+        """Override an array's dim-0 partition policy.
+
+        This is how a directive's ``partition([BLOCK])`` on a mapped array
+        replaces the kernel's declared policy (e.g. to use the paper's
+        v1-style "align computation with data").
+        """
+        if name not in self.arrays:
+            raise MappingError(f"{self.name}: no mapped array {name!r}")
+        self._policy_overrides[name] = policy
+
+    def effective_maps(self) -> tuple[MapSpec, ...]:
+        """Maps with partition overrides applied."""
+        if not self._policy_overrides:
+            return self.maps()
+        out = []
+        for m in self.maps():
+            override = self._policy_overrides.get(m.name)
+            if override is not None:
+                m = MapSpec(
+                    name=m.name,
+                    direction=m.direction,
+                    policies=(override, *m.policies[1:]),
+                    halo=m.halo,
+                )
+            out.append(m)
+        return tuple(out)
+
+    # -- analytic per-iteration costs ----------------------------------------
+
+    @abstractmethod
+    def flops_per_iter(self) -> float:
+        """Arithmetic operations per loop iteration."""
+
+    @abstractmethod
+    def mem_accesses_per_iter(self) -> float:
+        """Device-memory load/stores per iteration, in *elements*."""
+
+    def ops_per_iter(self) -> float:
+        """Normalisation unit for Table IV ratios (defaults to FLOPs)."""
+        return self.flops_per_iter()
+
+    def xfer_elems_per_iter(self) -> float:
+        """Bus elements per iteration, derived from the partitioned maps."""
+        total = 0.0
+        for m in self.effective_maps():
+            if not m.partitioned or m.name in self.resident:
+                continue
+            row = self._row_elems(m)
+            if m.direction.copies_in:
+                total += row
+            if m.direction.copies_out:
+                total += row
+        return total
+
+    def _row_elems(self, m: MapSpec) -> int:
+        """Elements per dim-0 index of a mapped array."""
+        arr = self.arrays[m.name]
+        n = 1
+        for extent in arr.shape[1:]:
+            n *= extent
+        return n
+
+    def replicated_in_bytes(self) -> float:
+        """Bytes of FULL-mapped input copied once to each discrete device."""
+        total = 0.0
+        for m in self.effective_maps():
+            if m.name in self.resident:
+                continue
+            if m.replicated and m.direction.copies_in:
+                total += self.arrays[m.name].nbytes
+        return total
+
+    def chunk_efficiency(self, n: int) -> float:
+        """Fraction of sustained throughput a chunk of ``n`` iterations
+        achieves.  Defaults to 1.0; kernels that need large tiles to fill a
+        wide device (GEMM) override this, which is one reason chunked
+        scheduling loses to BLOCK on compute-intensive kernels."""
+        return 1.0
+
+    def chunk_cost(self, rows: IterRange) -> ChunkCost:
+        """Simulated cost of executing ``rows`` as one chunk."""
+        n = len(rows)
+        eff = self.chunk_efficiency(n)
+        if not 0.0 < eff <= 1.0:
+            raise ValueError(f"{self.name}: chunk_efficiency must be in (0, 1]")
+        return ChunkCost(
+            flops=self.flops_per_iter() * n / eff,
+            mem_bytes=self.mem_accesses_per_iter() * ELEM * self.device_mem_factor * n,
+            xfer_in_bytes=self._xfer_dir_elems(True) * ELEM * n,
+            xfer_out_bytes=self._xfer_dir_elems(False) * ELEM * n,
+            replicated_in_bytes=self.replicated_in_bytes(),
+        )
+
+    def _xfer_dir_elems(self, inbound: bool) -> float:
+        total = 0.0
+        for m in self.effective_maps():
+            if not m.partitioned or m.name in self.resident:
+                continue
+            if inbound and m.direction.copies_in:
+                total += self._row_elems(m)
+            if not inbound and m.direction.copies_out:
+                total += self._row_elems(m)
+        return total
+
+    def costs(self) -> KernelCosts:
+        """Whole-loop analytic costs (Table IV reproduction)."""
+        fpi = self.flops_per_iter()
+        mpi = self.mem_accesses_per_iter() * ELEM
+        xpi = self.xfer_elems_per_iter() * ELEM
+        opi = self.ops_per_iter()
+        return KernelCosts(
+            flops_of=lambda n: fpi * n,
+            mem_bytes_of=lambda n: mpi * n,
+            xfer_bytes_of=lambda n: xpi * n,
+            elem_bytes=ELEM,
+            ops_of=lambda n: opi * n,
+        )
+
+    def mem_comp(self) -> float:
+        """Table IV MemComp at this problem size."""
+        return self.costs().mem_comp(self.n_iters)
+
+    def data_comp(self) -> float:
+        """Table IV DataComp at this problem size."""
+        return self.costs().data_comp(self.n_iters)
+
+    # -- execution -------------------------------------------------------------
+
+    def input_region(self, m: MapSpec, rows: IterRange) -> tuple[IterRange, ...]:
+        """Global region of array ``m`` a chunk needs (halo-expanded)."""
+        arr = self.arrays[m.name]
+        dims: list[IterRange] = []
+        for d, policy in enumerate(m.policies):
+            extent = IterRange(0, arr.shape[d])
+            if d == 0 and m.partitioned:
+                dims.append(rows.expand(m.halo[0], m.halo[1], clamp=extent))
+            else:
+                dims.append(extent)
+        return tuple(dims)
+
+    def execute_chunk(self, rows: IterRange, *, shared: bool = True) -> float | None:
+        """Run ``rows`` through the full buffer path.
+
+        ``shared=True`` models a host device (buffers are views);
+        ``shared=False`` models discrete memory (buffers are copies moved by
+        explicit copy-in/copy-out).  Returns a partial reduction value for
+        reduction kernels, else None.
+        """
+        if rows.empty:
+            return self.identity()
+        if not self.iter_space.contains_range(rows):
+            raise MappingError(
+                f"{self.name}: chunk [{rows.start},{rows.stop}) outside "
+                f"iteration space [0,{self.n_iters})"
+            )
+        buffers: dict[str, DeviceBuffer] = {}
+        for m in self.effective_maps():
+            buf = DeviceBuffer(
+                name=m.name,
+                host_array=self.arrays[m.name],
+                region=self.input_region(m, rows),
+                shared=shared,
+            )
+            if m.direction.copies_in:
+                buf.copy_in()
+            buffers[m.name] = buf
+        partial = self.compute(buffers, rows)
+        for m in self.effective_maps():
+            if m.direction.copies_out:
+                buffers[m.name].copy_out()
+        self.stats.chunks += 1
+        self.stats.iterations += len(rows)
+        return partial
+
+    @abstractmethod
+    def compute(self, buffers: dict[str, DeviceBuffer], rows: IterRange) -> float | None:
+        """The loop body over ``rows``, on device-local buffers."""
+
+    # -- reductions -------------------------------------------------------------
+
+    @property
+    def is_reduction(self) -> bool:
+        return False
+
+    def identity(self) -> float | None:
+        """Reduction identity (None for non-reduction kernels)."""
+        return 0.0 if self.is_reduction else None
+
+    def combine(self, a: float | None, b: float | None) -> float | None:
+        """Combine two partial reduction values."""
+        if not self.is_reduction:
+            return None
+        return float(a or 0.0) + float(b or 0.0)
+
+    # -- verification -----------------------------------------------------------
+
+    @abstractmethod
+    def reference(self) -> dict[str, np.ndarray] | float:
+        """Serial reference result: output arrays, or the reduction value."""
+
+    def snapshot_inputs(self) -> dict[str, np.ndarray]:
+        """Copies of all arrays (call before running, for reference checks)."""
+        return {k: v.copy() for k, v in self.arrays.items()}

@@ -1,0 +1,67 @@
+"""Kernel registry and the paper's named workloads.
+
+Table V names the evaluation problem sizes: ``axpy-10M``, ``sum-300M``,
+``matvec-48k``, ``matul-6144`` (sic), ``stencil2d-256``, ``bm2d-256``.
+``make_kernel`` builds any kernel at any size; ``paper_workload`` builds
+the named ones, optionally scaled down (the default for CI-speed
+benchmarks — simulated times are unaffected by numeric array size only in
+so far as cost is analytic in ``n``, so scaling changes absolute numbers
+but not who-wins shapes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.kernels.axpy import AxpyKernel
+from repro.kernels.base import LoopKernel
+from repro.kernels.block_matching import BlockMatchingKernel
+from repro.kernels.matmul import MatMulKernel
+from repro.kernels.matvec import MatVecKernel
+from repro.kernels.stencil import Stencil2DKernel
+from repro.kernels.sumreduce import SumKernel
+
+__all__ = ["KERNELS", "make_kernel", "PAPER_SIZES", "paper_workload"]
+
+KERNELS: dict[str, Callable[..., LoopKernel]] = {
+    "axpy": AxpyKernel,
+    "sum": SumKernel,
+    "matvec": MatVecKernel,
+    "matmul": MatMulKernel,
+    "stencil": Stencil2DKernel,
+    "bm": BlockMatchingKernel,
+}
+
+#: Table V problem sizes (iteration-space extent per kernel).
+PAPER_SIZES: dict[str, int] = {
+    "axpy": 10_000_000,
+    "sum": 300_000_000,
+    "matvec": 48_000,
+    "matmul": 6_144,
+    "stencil": 256,
+    "bm": 256,
+}
+
+
+def make_kernel(name: str, n: int, **kwargs) -> LoopKernel:
+    """Instantiate a kernel by short name at iteration-space size ``n``."""
+    try:
+        factory = KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {sorted(KERNELS)}"
+        ) from None
+    return factory(n, **kwargs)
+
+
+def paper_workload(name: str, *, scale: float = 1.0, **kwargs) -> LoopKernel:
+    """The paper's named workload, with iteration space scaled by ``scale``.
+
+    ``scale=1.0`` reproduces the paper's exact sizes (large: matmul-6144
+    allocates ~900 MB of matrices); benchmarks default to a smaller scale.
+    """
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    base = PAPER_SIZES[name]
+    n = max(16, int(base * scale))
+    return make_kernel(name, n, **kwargs)

@@ -1,0 +1,30 @@
+"""HOMP language extensions as a parser front-end.
+
+Python has no pragmas, so the paper's directive syntax is preserved as
+strings parsed into the same objects the Python API constructs:
+
+* ``device(...)`` specifiers (``0:*``, ``0:2,4:2``, ``0:*:NVGPU``),
+* ``map(tofrom: y[0:n] partition([BLOCK]) halo(1,))`` clauses,
+* ``dist_schedule(target:[AUTO])`` / ``dist_schedule(target:[ALIGN(x)])``,
+* whole combined directives like the paper's Fig. 2 examples.
+"""
+
+from repro.lang.device_spec import DeviceSelector, parse_device_clause
+from repro.lang.map_clause import ParsedMap, parse_map_clause
+from repro.lang.dist_schedule import ParsedDistSchedule, parse_dist_schedule
+from repro.lang.pragma import OffloadDirective, parse_directive
+from repro.lang.render import render_directive, render_map, render_dist_schedule
+
+__all__ = [
+    "DeviceSelector",
+    "parse_device_clause",
+    "ParsedMap",
+    "parse_map_clause",
+    "ParsedDistSchedule",
+    "parse_dist_schedule",
+    "OffloadDirective",
+    "parse_directive",
+    "render_directive",
+    "render_map",
+    "render_dist_schedule",
+]

@@ -1,0 +1,57 @@
+"""Parser for the extended ``dist_schedule`` clause (paper §III.2).
+
+Grammar: ``dist_schedule(modifier: [policy][, policy]...)`` where the
+modifier is ``target`` (distribution across devices — the HOMP extension)
+or ``teams`` (within-device, standard OpenMP semantics).  One policy per
+collapsed loop dimension.  Valid target policies: the Table I set plus the
+algorithm notations (``AUTO`` is resolved by the runtime's configured or
+heuristically selected algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dist.policy import Policy, parse_policy
+from repro.errors import DirectiveSyntaxError
+from repro.lang.map_clause import _split_top_level
+
+__all__ = ["ParsedDistSchedule", "parse_dist_schedule"]
+
+
+@dataclass(frozen=True)
+class ParsedDistSchedule:
+    """A ``dist_schedule`` clause: modifier + per-loop-dim policies."""
+
+    modifier: str  # "target" | "teams"
+    policies: tuple[Policy, ...]
+
+
+def parse_dist_schedule(text: str) -> ParsedDistSchedule:
+    body = text.strip()
+    if body.startswith("dist_schedule"):
+        body = body[len("dist_schedule"):].strip()
+    if body.startswith("(") and body.endswith(")"):
+        body = body[1:-1]
+    if ":" not in body:
+        raise DirectiveSyntaxError(
+            "dist_schedule needs a 'target:' or 'teams:' modifier", text=text
+        )
+    mod_s, rest = body.split(":", 1)
+    modifier = mod_s.strip().lower()
+    if modifier not in ("target", "teams"):
+        raise DirectiveSyntaxError(
+            f"unknown dist_schedule modifier {modifier!r}", text=text
+        )
+    tokens = []
+    for raw in _split_top_level(rest.strip(), ","):
+        t = raw.strip()
+        if t.startswith("[") and t.endswith("]"):
+            t = t[1:-1].strip()
+        if t:
+            tokens.append(t)
+    if not tokens:
+        raise DirectiveSyntaxError("dist_schedule lists no policies", text=text)
+    return ParsedDistSchedule(
+        modifier=modifier, policies=tuple(parse_policy(t) for t in tokens)
+    )

@@ -1,0 +1,61 @@
+"""Render directive objects back to HOMP pragma text.
+
+The inverse of :func:`repro.lang.pragma.parse_directive`: programs can
+build an :class:`~repro.lang.pragma.OffloadDirective` programmatically
+(or obtain one from a parse) and serialise it to the paper's syntax.
+``parse(render(d)) == d`` is property-tested over randomly generated
+directives, which doubles as a fuzz test of the parser grammar.
+"""
+
+from __future__ import annotations
+
+from repro.lang.dist_schedule import ParsedDistSchedule
+from repro.lang.map_clause import ParsedMap
+from repro.lang.pragma import OffloadDirective
+
+__all__ = ["render_directive", "render_map", "render_dist_schedule"]
+
+
+def render_map(m: ParsedMap) -> str:
+    """One mapped item (without the ``map(direction:`` wrapper)."""
+    out = m.name
+    for s in m.sections:
+        out += f"[{s.lower}:{s.extent}]"
+    if m.policies and not m.is_scalar:
+        out += " partition([" + "], [".join(str(p) for p in m.policies) + "])"
+    if m.halo != (0, 0):
+        out += f" halo({m.halo[0]},{m.halo[1]})"
+    return out
+
+
+def render_dist_schedule(d: ParsedDistSchedule) -> str:
+    inner = ",".join(f"[{p}]" for p in d.policies)
+    return f"dist_schedule({d.modifier}:{inner})"
+
+
+def render_directive(d: OffloadDirective, *, pragma_prefix: bool = True) -> str:
+    """Serialise a directive to HOMP pragma text (single line)."""
+    parts: list[str] = []
+    if pragma_prefix:
+        parts.append("#pragma omp")
+    else:
+        parts.append("omp")
+    parts.extend(d.directives)
+    if d.device_clause:
+        parts.append(f"device{d.device_clause}")
+    # group maps by direction, preserving first-appearance order
+    by_dir: dict = {}
+    for m in d.maps:
+        by_dir.setdefault(m.direction, []).append(m)
+    for direction, items in by_dir.items():
+        rendered = ", ".join(render_map(m) for m in items)
+        parts.append(f"map({direction.value}: {rendered})")
+    if d.reduction:
+        parts.append(f"reduction({d.reduction[0]}:{d.reduction[1]})")
+    if d.collapse is not None:
+        parts.append(f"collapse({d.collapse})")
+    if d.dist_schedule:
+        parts.append(render_dist_schedule(d.dist_schedule))
+    for head, body in d.other_clauses.items():
+        parts.append(f"{head}({body})")
+    return " ".join(parts)

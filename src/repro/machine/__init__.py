@@ -1,0 +1,38 @@
+"""Simulated heterogeneous machine: device specs, interconnect, presets.
+
+This package replaces the paper's physical node (2x Xeon E5-2699 v3,
+4x NVIDIA K40, 2x Xeon Phi 7120P).  See DESIGN.md section 2 for why a
+spec-calibrated model preserves the scheduling behaviour the paper studies.
+"""
+
+from repro.machine.spec import DeviceSpec, DeviceType, MachineSpec, MemoryKind
+from repro.machine.interconnect import Link, SHARED_LINK
+from repro.machine.device import Device
+from repro.machine.presets import (
+    cpu_spec,
+    k40_spec,
+    k40_unified_spec,
+    mic_spec,
+    gpu4_node,
+    cpu_mic_node,
+    full_node,
+    homogeneous_node,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "DeviceType",
+    "MachineSpec",
+    "MemoryKind",
+    "Link",
+    "SHARED_LINK",
+    "Device",
+    "cpu_spec",
+    "k40_spec",
+    "k40_unified_spec",
+    "mic_spec",
+    "gpu4_node",
+    "cpu_mic_node",
+    "full_node",
+    "homogeneous_node",
+]

@@ -1,0 +1,87 @@
+"""Runtime device object: spec + id + the cost model the simulator charges.
+
+Compute cost follows the roofline shape the paper's heuristics assume:
+a chunk doing ``flops`` of arithmetic over ``mem_bytes`` of device-memory
+traffic takes ``max(flops/Perf_dev, mem_bytes/BW_dev)`` plus a per-launch
+overhead.  Transfer cost is the Hockney model on the device's link.
+Optional multiplicative lognormal noise (seeded per device) makes dynamic
+scheduling face realistic run-to-run variation without losing determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.spec import DeviceSpec, MemoryKind
+from repro.util.units import gbs_to_bytes_per_s, gflops_to_flops
+
+__all__ = ["Device"]
+
+
+@dataclass
+class Device:
+    """One computation device instantiated in a running machine."""
+
+    devid: int
+    spec: DeviceSpec
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # Per-device stream: noise draws are reproducible and independent of
+        # how other devices interleave.
+        self._rng = np.random.default_rng(0x60D5EED + self.devid)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def is_host(self) -> bool:
+        return self.spec.is_host
+
+    @property
+    def shares_host_memory(self) -> bool:
+        return self.spec.memory is not MemoryKind.DISCRETE
+
+    def reseed(self, seed: int) -> None:
+        """Reset the noise stream (used to replay a simulation exactly)."""
+        self._rng = np.random.default_rng((0x60D5EED + self.devid) ^ seed)
+
+    # -- cost model ---------------------------------------------------------
+
+    def compute_time(self, flops: float, mem_bytes: float, *, noisy: bool = True) -> float:
+        """Roofline time for one kernel launch over a chunk, in seconds."""
+        if flops < 0 or mem_bytes < 0:
+            raise ValueError("flops and mem_bytes must be >= 0")
+        t_compute = flops / gflops_to_flops(self.spec.sustained_gflops)
+        t_memory = mem_bytes / gbs_to_bytes_per_s(self.spec.mem_bandwidth_gbs)
+        t = max(t_compute, t_memory) + self.spec.launch_overhead_s
+        if noisy and self.spec.noise > 0:
+            t *= float(self._rng.lognormal(mean=0.0, sigma=self.spec.noise))
+        return t
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Hockney cost of moving ``nbytes`` between host and this device."""
+        if self.shares_host_memory and self.spec.memory is MemoryKind.SHARED:
+            return 0.0
+        return self.spec.link.transfer_time(nbytes)
+
+    def throughput_iters_per_s(
+        self, flops_per_iter: float, mem_bytes_per_iter: float
+    ) -> float:
+        """Steady-state iterations/second for a uniform loop (no launch cost).
+
+        This is the paper's ``f_i`` (Eq. 2) for data-parallel loops: the
+        per-iteration cost is constant, so throughput is its reciprocal.
+        """
+        per_iter = max(
+            flops_per_iter / gflops_to_flops(self.spec.sustained_gflops),
+            mem_bytes_per_iter / gbs_to_bytes_per_s(self.spec.mem_bandwidth_gbs),
+        )
+        if per_iter <= 0.0:
+            return float("inf")
+        return 1.0 / per_iter

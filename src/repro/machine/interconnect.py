@@ -1,0 +1,59 @@
+"""Host<->device links costed with the Hockney alpha-beta model.
+
+The paper's MODEL_2_AUTO prices data movement with Hockney's model [11]:
+``T(n) = alpha + n / beta`` for an ``n``-byte message, where ``alpha`` is
+the fixed link latency and ``beta`` the asymptotic bandwidth.  The same
+model drives the *simulated* transfer cost, so the analytical scheduler is
+exact on this machine unless noise is enabled — which lets tests separate
+model error from scheduling error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import gbs_to_bytes_per_s
+
+__all__ = ["Link", "SHARED_LINK"]
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A host-to-device link: ``latency_s`` (alpha) + ``bandwidth_gbs`` (beta).
+
+    A *shared* link models a device living in the host address space (host
+    CPUs, or unified memory treated as shared): transfers cost nothing and
+    ``is_shared`` is True.
+    """
+
+    latency_s: float
+    bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"link latency must be >= 0, got {self.latency_s}")
+        if self.bandwidth_gbs <= 0 and not self.is_shared:
+            raise ValueError(f"link bandwidth must be > 0, got {self.bandwidth_gbs}")
+
+    @property
+    def is_shared(self) -> bool:
+        return self.bandwidth_gbs == float("inf")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Hockney cost of moving ``nbytes`` across this link, in seconds."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0 or self.is_shared:
+            return 0.0
+        return self.latency_s + nbytes / gbs_to_bytes_per_s(self.bandwidth_gbs)
+
+    def effective_bandwidth(self, nbytes: float) -> float:
+        """Achieved bytes/s for an ``nbytes`` message (latency included)."""
+        t = self.transfer_time(nbytes)
+        if t == 0.0:
+            return float("inf")
+        return nbytes / t
+
+
+#: Link for devices sharing the host memory space (zero-cost "transfers").
+SHARED_LINK = Link(latency_s=0.0, bandwidth_gbs=float("inf"))

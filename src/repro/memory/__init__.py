@@ -1,0 +1,15 @@
+"""Memory model: device buffers, map semantics, copy-vs-share decisions,
+and the unified-memory cost model behind the paper's section V.C claim."""
+
+from repro.memory.space import MapDirection
+from repro.memory.buffer import DeviceBuffer
+from repro.memory.mapper import DataMapper, MapDecision
+from repro.memory.unified import UnifiedMemoryModel
+
+__all__ = [
+    "MapDirection",
+    "DeviceBuffer",
+    "DataMapper",
+    "MapDecision",
+    "UnifiedMemoryModel",
+]

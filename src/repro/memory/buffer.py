@@ -1,0 +1,125 @@
+"""Device buffers: the numerically real half of the simulation.
+
+A :class:`DeviceBuffer` is a device's storage for its subregion of a host
+array.  For a device sharing the host address space the buffer is a *view*
+(writes land in the host array directly — the runtime "shares" the data);
+for discrete memory it is a *copy*, and ``copy_in`` / ``copy_out`` move
+bytes explicitly, exactly like the paper's runtime.  Index translation from
+global array coordinates to the buffer's local coordinates is what the
+paper's compiler book-keeping variables do; here :meth:`global_to_local`
+carries the subregion offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.util.ranges import IterRange
+
+__all__ = ["DeviceBuffer"]
+
+
+@dataclass
+class DeviceBuffer:
+    """Storage for one mapped (sub)array on one device."""
+
+    name: str
+    host_array: np.ndarray
+    region: tuple[IterRange, ...]  # per-dim global ranges held by this buffer
+    shared: bool  # view of host memory vs discrete copy
+    data: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.region) != self.host_array.ndim:
+            raise MappingError(
+                f"buffer {self.name!r}: region rank {len(self.region)} != "
+                f"array rank {self.host_array.ndim}"
+            )
+        for dim, r in enumerate(self.region):
+            if r.start < 0 or r.stop > self.host_array.shape[dim]:
+                raise MappingError(
+                    f"buffer {self.name!r}: dim {dim} range [{r.start},{r.stop}) "
+                    f"outside array extent {self.host_array.shape[dim]}"
+                )
+        idx = self._global_index()
+        if self.shared:
+            self.data = self.host_array[idx]  # a view: writes are shared
+        else:
+            self.data = np.empty_like(self.host_array[idx])
+
+    def _global_index(self) -> tuple[slice, ...]:
+        return tuple(r.as_slice() for r in self.region)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def copy_in(self) -> int:
+        """Host -> device. Returns bytes moved (0 when shared)."""
+        if self.shared:
+            return 0
+        np.copyto(self.data, self.host_array[self._global_index()])
+        return self.nbytes
+
+    def copy_out(self) -> int:
+        """Device -> host. Returns bytes moved (0 when shared)."""
+        if self.shared:
+            return 0
+        self.host_array[self._global_index()] = self.data
+        return self.nbytes
+
+    def copy_out_rows(self, rows: IterRange) -> int:
+        """Device -> host for a global row range only (per-chunk results).
+
+        Used by chunked schedulers that return each chunk's output as soon
+        as it finishes (enabling transfer/compute overlap).  ``rows``
+        indexes the first dimension in *global* coordinates.
+        """
+        if self.shared:
+            return 0
+        r0 = self.region[0]
+        sub = rows.intersect(r0)
+        if sub.empty:
+            return 0
+        local = sub.shift(-r0.start)
+        rest = tuple(r.as_slice() for r in self.region[1:])
+        self.host_array[(sub.as_slice(), *rest)] = self.data[(local.as_slice(), *rest_local(self.region[1:]))]
+        row_bytes = self.data[0].nbytes if self.data.ndim > 0 and self.data.shape[0] else 0
+        return len(sub) * row_bytes
+
+    def global_to_local(self, index: tuple[int, ...]) -> tuple[int, ...]:
+        """Translate a global element coordinate into buffer coordinates."""
+        if len(index) != len(self.region):
+            raise MappingError(f"rank mismatch indexing buffer {self.name!r}")
+        local = []
+        for dim, (i, r) in enumerate(zip(index, self.region)):
+            if i not in r:
+                raise MappingError(
+                    f"buffer {self.name!r}: global index {i} outside dim-{dim} "
+                    f"range [{r.start},{r.stop})"
+                )
+            local.append(i - r.start)
+        return tuple(local)
+
+    def local_view(self, rows: IterRange) -> np.ndarray:
+        """View of the buffer covering a *global* first-dim range."""
+        r0 = self.region[0]
+        if not r0.contains_range(rows):
+            raise MappingError(
+                f"buffer {self.name!r}: rows [{rows.start},{rows.stop}) outside "
+                f"held range [{r0.start},{r0.stop})"
+            )
+        local = rows.shift(-r0.start)
+        return self.data[local.as_slice()]
+
+
+def rest_local(region_tail: tuple[IterRange, ...]) -> tuple[slice, ...]:
+    """Local slices for trailing dims (they always hold their full range)."""
+    return tuple(slice(0, len(r)) for r in region_tail)

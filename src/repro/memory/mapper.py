@@ -1,0 +1,65 @@
+"""Copy-vs-share mapping decisions (paper §V.C).
+
+"If the data mapping semantics of the user program allow, the HOMP runtime
+makes mapping decisions (shared or copied) according to the memory types
+(shared or discrete) of the devices."  :class:`DataMapper` encodes that
+rule: host CPUs share; discrete devices copy; unified-memory devices share
+*semantically* but pay migration costs through
+:class:`~repro.memory.unified.UnifiedMemoryModel` unless the program asked
+for explicit movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.machine.spec import DeviceSpec, MemoryKind
+from repro.memory.space import MapDirection
+
+__all__ = ["MapDecision", "DataMapper"]
+
+
+class MapDecision(Enum):
+    SHARE = "share"
+    COPY = "copy"
+    MIGRATE = "migrate"  # unified memory: shared semantics, paged transfers
+
+
+@dataclass(frozen=True)
+class DataMapper:
+    """Decides how each mapped array reaches each device.
+
+    ``prefer_unified`` mirrors the paper's default of *not* using unified
+    memory unless the program explicitly asks ("we do not use this feature
+    because of the observed poor performances").
+    """
+
+    prefer_unified: bool = False
+
+    def decide(self, spec: DeviceSpec, direction: MapDirection) -> MapDecision:
+        if spec.memory is MemoryKind.SHARED:
+            return MapDecision.SHARE
+        if spec.memory is MemoryKind.UNIFIED:
+            return MapDecision.MIGRATE if self.prefer_unified else MapDecision.COPY
+        return MapDecision.COPY
+
+    def bytes_in(
+        self, decision: MapDecision, direction: MapDirection, nbytes: int
+    ) -> int:
+        """Bus bytes moved host->device before the kernel."""
+        if decision is MapDecision.SHARE:
+            return 0
+        if direction is MapDirection.ALLOC:
+            return 0
+        return nbytes if direction.copies_in else 0
+
+    def bytes_out(
+        self, decision: MapDecision, direction: MapDirection, nbytes: int
+    ) -> int:
+        """Bus bytes moved device->host after the kernel."""
+        if decision is MapDecision.SHARE:
+            return 0
+        if direction is MapDirection.ALLOC:
+            return 0
+        return nbytes if direction.copies_out else 0

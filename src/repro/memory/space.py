@@ -1,0 +1,38 @@
+"""Map directions, as in OpenMP ``map(to|from|tofrom|alloc: ...)``.
+
+The direction decides which transfers a mapped array generates for a
+discrete-memory device: TO copies host->device before the kernel, FROM
+copies device->host after it, TOFROM does both, ALLOC only allocates
+device storage (the Jacobi example maps its scratch ``uold`` as alloc).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import MappingError
+
+__all__ = ["MapDirection"]
+
+
+class MapDirection(str, Enum):
+    TO = "to"
+    FROM = "from"
+    TOFROM = "tofrom"
+    ALLOC = "alloc"
+
+    @classmethod
+    def parse(cls, token: str) -> "MapDirection":
+        t = token.strip().lower()
+        for member in cls:
+            if member.value == t:
+                return member
+        raise MappingError(f"unknown map direction {token!r}")
+
+    @property
+    def copies_in(self) -> bool:
+        return self in (MapDirection.TO, MapDirection.TOFROM)
+
+    @property
+    def copies_out(self) -> bool:
+        return self in (MapDirection.FROM, MapDirection.TOFROM)

@@ -1,0 +1,97 @@
+"""Roofline model (paper ref [30]) used by the algorithm-selection heuristic.
+
+HOMP's selector (paper §IV.D, §VI.D) keys off "computational intensity
+based on the roofline model": compute-intensive kernels get BLOCK (same
+devices) or MODEL_1_AUTO (different devices); balanced kernels get
+SCHED_DYNAMIC; data-intensive kernels get MODEL_2_AUTO.  This module turns
+a kernel's MemComp/DataComp ratios into that three-way classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.machine.spec import DeviceSpec
+from repro.util.units import gbs_to_bytes_per_s, gflops_to_flops
+
+__all__ = [
+    "RooflinePoint",
+    "arithmetic_intensity",
+    "attainable_gflops",
+    "classify_intensity",
+    "IntensityClass",
+]
+
+
+class IntensityClass(Enum):
+    """Coarse kernel classes used by the paper's selection heuristics."""
+
+    DATA_INTENSIVE = "data-intensive"
+    BALANCED = "compute-data balanced"
+    COMPUTE_INTENSIVE = "compute-intensive"
+
+
+@dataclass(frozen=True, slots=True)
+class RooflinePoint:
+    """A kernel placed on a device's roofline."""
+
+    intensity_flops_per_byte: float
+    attainable_gflops: float
+    ridge_point: float  # intensity where the device turns compute-bound
+    memory_bound: bool
+
+
+def arithmetic_intensity(flops: float, mem_bytes: float) -> float:
+    """FLOPs per byte of memory traffic; inf for traffic-free kernels."""
+    if flops < 0 or mem_bytes < 0:
+        raise ValueError("flops and mem_bytes must be >= 0")
+    if mem_bytes == 0:
+        return float("inf")
+    return flops / mem_bytes
+
+
+def attainable_gflops(spec: DeviceSpec, intensity: float) -> RooflinePoint:
+    """Classic roofline: min(peak, intensity * bandwidth) for one device."""
+    if intensity < 0:
+        raise ValueError("intensity must be >= 0")
+    peak = spec.sustained_gflops
+    bw_gbs = spec.mem_bandwidth_gbs
+    ridge = gflops_to_flops(peak) / gbs_to_bytes_per_s(bw_gbs)
+    attained = min(peak, intensity * bw_gbs)
+    return RooflinePoint(
+        intensity_flops_per_byte=intensity,
+        attainable_gflops=attained,
+        ridge_point=ridge,
+        memory_bound=intensity < ridge,
+    )
+
+
+# Thresholds on DataComp (bus traffic per unit of computation, Table IV).
+# The paper's evaluation groups its kernels exactly this way: axpy (1.5) and
+# sum (1.0) are data-intensive; matvec (~0.5) is balanced; matmul (~0),
+# stencil (1/13) and block matching (0.06) behave compute-intensive.
+_DATA_INTENSIVE_DATACOMP = 0.75
+_COMPUTE_INTENSIVE_DATACOMP = 0.1
+
+
+def classify_intensity(mem_comp: float, data_comp: float) -> IntensityClass:
+    """Bucket a kernel by the paper's Table IV characterisation.
+
+    ``mem_comp``  - memory loads/stores per unit of computation (MemComp).
+    ``data_comp`` - bus bytes moved per unit of computation (DataComp).
+    The primary axis is DataComp: how much PCIe traffic each unit of
+    computation drags along decides whether data movement dominates the
+    offload.  MemComp breaks ties for kernels that stress device memory but
+    not the bus (they count as balanced, not compute-intensive, since
+    device-memory bandwidth still caps them).
+    """
+    if mem_comp < 0 or data_comp < 0:
+        raise ValueError("ratios must be >= 0")
+    if data_comp >= _DATA_INTENSIVE_DATACOMP:
+        return IntensityClass.DATA_INTENSIVE
+    if data_comp <= _COMPUTE_INTENSIVE_DATACOMP:
+        if mem_comp >= _DATA_INTENSIVE_DATACOMP:
+            return IntensityClass.BALANCED
+        return IntensityClass.COMPUTE_INTENSIVE
+    return IntensityClass.BALANCED

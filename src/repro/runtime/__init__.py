@@ -1,0 +1,16 @@
+"""The HOMP runtime: user-facing offload API, target-data regions, halo
+exchange, and device selection."""
+
+from repro.runtime.runtime import HompRuntime
+from repro.runtime.data_env import TargetDataRegion
+from repro.runtime.halo import HaloExchange, plan_halo_exchange
+from repro.runtime.offload_info import ArrayInfo, OffloadInfo
+
+__all__ = [
+    "HompRuntime",
+    "TargetDataRegion",
+    "HaloExchange",
+    "plan_halo_exchange",
+    "ArrayInfo",
+    "OffloadInfo",
+]

@@ -1,0 +1,84 @@
+"""Halo exchange across devices (paper Fig. 3's ``#pragma omp halo_exchange``).
+
+With a row-block distribution, each device must refresh ``width`` boundary
+rows from each neighbour every iteration.  Between discrete devices the
+bytes travel device -> host -> device (two link crossings; the paper's
+machine has no peer-to-peer path between its K80 cards and MICs);
+host-shared devices exchange for free.  The numeric ground truth lives in
+host arrays, so only the *cost* needs simulating — the plan records who
+sends what to whom and the virtual time the exchange adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dist.distribution import DimDistribution
+from repro.errors import DistributionError
+from repro.machine.spec import MachineSpec
+
+__all__ = ["HaloExchange", "plan_halo_exchange"]
+
+
+@dataclass(frozen=True)
+class _Transfer:
+    src: int
+    dst: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class HaloExchange:
+    """A planned halo exchange and its simulated cost."""
+
+    transfers: tuple[_Transfer, ...]
+    time_s: float
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+
+def plan_halo_exchange(
+    machine: MachineSpec,
+    dist: DimDistribution,
+    *,
+    width: int,
+    row_bytes: int,
+) -> HaloExchange:
+    """Plan the boundary exchange for a contiguous row-block distribution.
+
+    Each adjacent owner pair exchanges ``width`` rows in both directions.
+    Per-device time is the serial sum of its link crossings (send up +
+    send down + receive up + receive down); the exchange completes when
+    the slowest device is done, since all devices synchronise after it.
+    """
+    if width < 0:
+        raise DistributionError(f"halo width must be >= 0, got {width}")
+    if dist.ndev != len(machine):
+        raise DistributionError(
+            f"distribution covers {dist.ndev} devices, machine has {len(machine)}"
+        )
+    owners = [
+        d
+        for d in range(dist.ndev)
+        if dist.device_size(d) > 0
+    ]
+    transfers: list[_Transfer] = []
+    nbytes = width * row_bytes
+    if width > 0 and nbytes > 0:
+        for a, b in zip(owners, owners[1:]):
+            transfers.append(_Transfer(src=a, dst=b, nbytes=nbytes))
+            transfers.append(_Transfer(src=b, dst=a, nbytes=nbytes))
+
+    per_device = [0.0] * dist.ndev
+    for t in transfers:
+        # device -> host on the source link, host -> device on the target.
+        src_cost = machine[t.src].link.transfer_time(t.nbytes)
+        dst_cost = machine[t.dst].link.transfer_time(t.nbytes)
+        per_device[t.src] += src_cost
+        per_device[t.dst] += dst_cost
+    return HaloExchange(
+        transfers=tuple(transfers),
+        time_s=max(per_device, default=0.0),
+    )

@@ -1,0 +1,132 @@
+"""The ``homp_offloading_info`` object (paper §V).
+
+"Such a request is represented as an ``homp_offloading_info`` object that
+contains information for data source pointers, dimension information of an
+array, data distribution policies, data mapping directions, offloading
+loop distribution policies, etc."
+
+:class:`OffloadInfo` is that object: a fully-resolved, immutable snapshot
+of one offload request, assembled before execution.  Proxy behaviour in
+this reproduction is driven directly by the kernel/scheduler objects, so
+OffloadInfo's role is introspection — examples print it, tests assert on
+it, and it round-trips to a plain dict for logging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.base import LoopKernel
+from repro.machine.spec import MachineSpec
+from repro.memory.space import MapDirection
+from repro.sched.base import LoopScheduler
+from repro.util.ranges import IterRange
+
+__all__ = ["ArrayInfo", "OffloadInfo"]
+
+
+@dataclass(frozen=True)
+class ArrayInfo:
+    """Dimension, policy and mapping info for one mapped array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    nbytes: int
+    direction: MapDirection
+    policies: tuple[str, ...]
+    halo: tuple[int, int]
+    resident: bool
+
+
+@dataclass(frozen=True)
+class OffloadInfo:
+    """One offload request, fully described."""
+
+    kernel_name: str
+    loop_label: str
+    iter_space: IterRange
+    algorithm: str
+    cutoff_ratio: float
+    device_ids: tuple[int, ...]
+    device_names: tuple[str, ...]
+    arrays: tuple[ArrayInfo, ...]
+    is_reduction: bool
+    serialize_offload: bool = False
+
+    @classmethod
+    def build(
+        cls,
+        kernel: LoopKernel,
+        scheduler: LoopScheduler,
+        machine: MachineSpec,
+        device_ids: list[int],
+        *,
+        cutoff_ratio: float = 0.0,
+        serialize_offload: bool = False,
+    ) -> "OffloadInfo":
+        arrays = tuple(
+            ArrayInfo(
+                name=m.name,
+                shape=tuple(kernel.arrays[m.name].shape),
+                dtype=str(kernel.arrays[m.name].dtype),
+                nbytes=int(kernel.arrays[m.name].nbytes),
+                direction=m.direction,
+                policies=tuple(str(p) for p in m.policies),
+                halo=m.halo,
+                resident=m.name in kernel.resident,
+            )
+            for m in kernel.effective_maps()
+        )
+        return cls(
+            kernel_name=kernel.name,
+            loop_label=kernel.label,
+            iter_space=kernel.iter_space,
+            algorithm=scheduler.notation,
+            cutoff_ratio=cutoff_ratio,
+            device_ids=tuple(device_ids),
+            device_names=tuple(machine[i].name for i in device_ids),
+            arrays=arrays,
+            is_reduction=kernel.is_reduction,
+            serialize_offload=serialize_offload,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel_name,
+            "loop": f"{self.loop_label}[{self.iter_space.start}:{self.iter_space.stop}]",
+            "algorithm": self.algorithm,
+            "cutoff_ratio": self.cutoff_ratio,
+            "devices": list(self.device_names),
+            "reduction": self.is_reduction,
+            "serialize_offload": self.serialize_offload,
+            "arrays": [
+                {
+                    "name": a.name,
+                    "shape": list(a.shape),
+                    "dtype": a.dtype,
+                    "map": a.direction.value,
+                    "partition": list(a.policies),
+                    "halo": list(a.halo),
+                    "resident": a.resident,
+                }
+                for a in self.arrays
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"offload {self.kernel_name}: loop {self.loop_label}"
+            f"[{self.iter_space.start}:{self.iter_space.stop}) via "
+            f"{self.algorithm}"
+            + (f", cutoff {self.cutoff_ratio:.0%}" if self.cutoff_ratio else "")
+        ]
+        lines.append(f"  devices: {', '.join(self.device_names)}")
+        for a in self.arrays:
+            extra = " (resident)" if a.resident else ""
+            halo = f" halo{a.halo}" if a.halo != (0, 0) else ""
+            lines.append(
+                f"  map({a.direction.value}: {a.name}{list(a.shape)} "
+                f"partition[{', '.join(a.policies)}]{halo}){extra}"
+            )
+        return "\n".join(lines)

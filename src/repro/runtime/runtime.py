@@ -1,0 +1,220 @@
+"""HompRuntime — the entry point a HOMP program talks to.
+
+Construction reads a machine description (a :class:`MachineSpec`, built
+from presets or loaded from the JSON machine file, paper §V).  The two
+offload entry points are:
+
+* :meth:`HompRuntime.parallel_for` — Python-API form: a kernel, an
+  algorithm (paper notation or instance), a device selection, an optional
+  CUTOFF ratio;
+* :meth:`HompRuntime.offload` — directive form: a HOMP pragma string is
+  parsed and mapped onto the same machinery (device clause -> device ids,
+  ``dist_schedule(target:...)`` -> scheduler, map ``partition`` entries ->
+  kernel policy overrides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dist.policy import Align, Auto, Policy
+from repro.engine.simulator import OffloadEngine
+from repro.engine.trace import OffloadResult
+from repro.errors import DeviceError, SchedulingError
+from repro.kernels.base import LoopKernel
+from repro.lang.device_spec import parse_device_clause
+from repro.lang.pragma import OffloadDirective, parse_directive
+from repro.machine.spec import MachineSpec
+from repro.sched.align_sched import AlignedScheduler
+from repro.sched.base import LoopScheduler
+from repro.sched.cutoff import default_cutoff_ratio
+from repro.runtime.offload_info import OffloadInfo
+from repro.sched.registry import make_scheduler
+from repro.sched.selector import select_algorithm
+
+__all__ = ["HompRuntime"]
+
+
+@dataclass
+class HompRuntime:
+    """A running HOMP instance bound to one machine description."""
+
+    machine: MachineSpec
+    seed: int = 0
+    execute_numerically: bool = True
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "HompRuntime":
+        """Initialise from a machine description file (paper §V)."""
+        return cls(machine=MachineSpec.from_file(path), **kwargs)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.machine)
+
+    def effective_device_count(self, ids: list[int] | None = None) -> int:
+        """Device count for the CUTOFF default, counting all host CPUs as
+        one device (the paper's "considering 2 CPUs as one host device")."""
+        ids = ids if ids is not None else list(range(len(self.machine)))
+        hosts = sum(1 for i in ids if self.machine[i].is_host)
+        return (1 if hosts else 0) + sum(
+            1 for i in ids if not self.machine[i].is_host
+        )
+
+    def select_devices(self, devices) -> list[int]:
+        """Normalise a device selection: clause string, id list, or None."""
+        if devices is None or devices == "*":
+            return list(range(len(self.machine)))
+        if isinstance(devices, str):
+            return parse_device_clause(devices, self.machine)
+        ids = list(devices)
+        for i in ids:
+            if not 0 <= i < len(self.machine):
+                raise DeviceError(f"device id {i} out of range")
+        if not ids:
+            raise DeviceError("empty device selection")
+        return ids
+
+    def _resolve_scheduler(
+        self,
+        schedule,
+        kernel: LoopKernel,
+        submachine: MachineSpec,
+        sched_kwargs: dict,
+    ) -> LoopScheduler:
+        if isinstance(schedule, LoopScheduler):
+            return schedule
+        if isinstance(schedule, Policy):
+            if isinstance(schedule, Align):
+                return AlignedScheduler(schedule.target, schedule.ratio)
+            if isinstance(schedule, Auto):
+                return make_scheduler(
+                    select_algorithm(kernel, submachine), **sched_kwargs
+                )
+            raise SchedulingError(f"policy {schedule} is not a loop schedule")
+        if isinstance(schedule, str):
+            name = schedule.strip()
+            if name.upper() == "AUTO":
+                name = select_algorithm(kernel, submachine)
+            return make_scheduler(name, **sched_kwargs)
+        raise SchedulingError(f"cannot interpret schedule {schedule!r}")
+
+    def parallel_for(
+        self,
+        kernel: LoopKernel,
+        *,
+        schedule="AUTO",
+        devices=None,
+        cutoff_ratio: float | str = 0.0,
+        resident: frozenset[str] | set[str] | None = None,
+        record_events: bool = False,
+        serialize_offload: bool = False,
+        **sched_kwargs,
+    ) -> OffloadResult:
+        """Offload one parallel loop across the selected devices.
+
+        ``schedule`` — paper Table II notation, ``"AUTO"`` (heuristic
+        selection), a :class:`Policy` (``Align``/``Auto``), or a scheduler
+        instance.  ``cutoff_ratio`` — a fraction, or ``"auto"`` for the
+        paper's 1/ndev default.  ``resident`` — array names held on the
+        devices by an enclosing target-data region.
+        """
+        ids = self.select_devices(devices)
+        submachine = self.machine.subset(ids)
+        scheduler = self._resolve_scheduler(schedule, kernel, submachine, sched_kwargs)
+
+        if cutoff_ratio == "auto":
+            ratio = default_cutoff_ratio(self.effective_device_count(ids))
+        else:
+            ratio = float(cutoff_ratio)
+        if ratio > 0.0 and not scheduler.supports_cutoff:
+            # Table II: CUTOFF applies only to the model/profile algorithms.
+            ratio = 0.0
+
+        engine = OffloadEngine(
+            machine=submachine,
+            seed=self.seed,
+            execute_numerically=self.execute_numerically,
+            record_events=record_events,
+            serialize_offload=serialize_offload,
+        )
+        prev_resident = kernel.resident
+        if resident is not None:
+            kernel.resident = frozenset(resident)
+        try:
+            info = OffloadInfo.build(
+                kernel,
+                scheduler,
+                self.machine,
+                ids,
+                cutoff_ratio=ratio,
+                serialize_offload=serialize_offload,
+            )
+            result = engine.run(kernel, scheduler, cutoff_ratio=ratio)
+        finally:
+            kernel.resident = prev_resident
+        result.meta["device_ids"] = ids
+        result.meta["offload_info"] = info
+        if record_events:
+            result.meta["timeline"] = engine.timeline
+        return result
+
+    def target_data(
+        self,
+        directive: "str | OffloadDirective",
+        arrays: dict,
+    ):
+        """Open a target-data region from a ``parallel target data``
+        directive (paper Fig. 3, lines 1-7).
+
+        ``arrays`` maps the directive's variable names to host ndarrays;
+        scalars in the map clauses are ignored (they are trivially shared).
+        Partitioned arrays (non-FULL dim-0 policy) are staged as one
+        per-device share, replicated arrays in full.  Returns an *unopened*
+        :class:`~repro.runtime.data_env.TargetDataRegion` (use ``with``).
+        """
+        from repro.runtime.data_env import TargetDataRegion
+
+        d = parse_directive(directive) if isinstance(directive, str) else directive
+        if not d.is_data_region:
+            raise SchedulingError("directive is not a target data region")
+        maps: dict = {}
+        partitioned: set[str] = set()
+        for m in d.maps:
+            if m.name not in arrays:
+                if m.is_scalar:
+                    continue
+                raise DeviceError(f"target data maps unknown array {m.name!r}")
+            maps[m.name] = (arrays[m.name], m.direction)
+            if m.policies and not all(
+                type(p).__name__ == "Full" for p in m.policies
+            ):
+                partitioned.add(m.name)
+        return TargetDataRegion(
+            runtime=self,
+            maps=maps,
+            devices=d.device_clause,
+            partitioned=frozenset(partitioned),
+        )
+
+    def offload(self, directive: str | OffloadDirective, kernel: LoopKernel,
+                **kwargs) -> OffloadResult:
+        """Offload a kernel under a HOMP directive string (Fig. 2 style)."""
+        d = parse_directive(directive) if isinstance(directive, str) else directive
+        devices = d.device_clause if d.device_clause else None
+
+        # partition([...]) entries on maps override the kernel's policies.
+        for m in d.maps:
+            if m.name in kernel.arrays and m.policies:
+                kernel.set_partition(m.name, m.policies[0])
+
+        schedule = kwargs.pop("schedule", None)
+        if schedule is None:
+            if d.dist_schedule is not None:
+                schedule = d.dist_schedule.policies[0]
+            else:
+                schedule = "AUTO"
+        # Without the `parallel target` composite, data distribution and
+        # offloading are performed by a single host thread (paper §III.4).
+        kwargs.setdefault("serialize_offload", not d.is_parallel_target)
+        return self.parallel_for(kernel, schedule=schedule, devices=devices, **kwargs)

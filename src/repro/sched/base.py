@@ -1,0 +1,170 @@
+"""Scheduler protocol shared by all seven loop-distribution algorithms.
+
+A scheduler is driven by the offload engine through three calls:
+
+* :meth:`LoopScheduler.start` — the loop is encountered; upfront
+  partitioning (BLOCK, the MODEL algorithms) happens here.
+* :meth:`LoopScheduler.next` — a device proxy asks for its next chunk.
+  Returns an :class:`~repro.util.ranges.IterRange`, the sentinel
+  :data:`BARRIER` (two-stage algorithms: wait until every active device
+  reaches the barrier), or ``None`` (no more work for this device).
+* :meth:`LoopScheduler.observe` — the engine reports a finished chunk and
+  its measured per-device elapsed time; the profiling algorithms turn this
+  into throughput.
+
+plus :meth:`LoopScheduler.at_barrier`, invoked once when all devices that
+asked for the barrier have arrived.
+
+The invariant every implementation must keep (and property tests enforce):
+the chunks handed out across all devices tile the iteration space exactly —
+no iteration lost, none duplicated.
+
+:class:`SchedContext` gives schedulers the per-device analytic quantities
+of the paper's Table III (``ExeT``, ``DataT``, fixed costs) derived from
+the kernel's cost descriptors and the device specs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.kernels.base import ELEM, LoopKernel
+from repro.machine.device import Device
+from repro.util.ranges import IterRange
+
+__all__ = ["BARRIER", "Decision", "SchedContext", "LoopScheduler"]
+
+
+class _Barrier:
+    """Sentinel: the device must wait for all active devices."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BARRIER"
+
+
+BARRIER = _Barrier()
+
+#: What ``next`` may return.
+Decision = IterRange | _Barrier | None
+
+
+@dataclass
+class SchedContext:
+    """Everything a scheduler may consult about the offload at hand."""
+
+    kernel: LoopKernel
+    devices: list[Device]
+    cutoff_ratio: float = 0.0
+    chunk_pct: float = -1.0  # algorithm parameter; -1 = unused (paper notation)
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise SchedulingError("offload needs at least one device")
+        if not 0.0 <= self.cutoff_ratio < 1.0:
+            raise SchedulingError(
+                f"cutoff_ratio must be in [0, 1), got {self.cutoff_ratio}"
+            )
+
+    @property
+    def n_iters(self) -> int:
+        return self.kernel.n_iters
+
+    @property
+    def ndev(self) -> int:
+        return len(self.devices)
+
+    @property
+    def iter_space(self) -> IterRange:
+        return self.kernel.iter_space
+
+    # -- Table III quantities, per iteration ---------------------------------
+
+    def per_iter_compute_s(self, devid: int) -> float:
+        """ExeT per iteration as the paper's model sees it.
+
+        Table III: ``ExeT = FLOPs / (Perf * MemComp)`` with ``Perf`` from
+        microbenchmark profiling — a FLOP-rate model whose MemComp factor
+        is device-independent and cancels in the distribution ratios, so it
+        is omitted here.  Devices whose microbenchmark rate exceeds their
+        generic-loop rate (``model_gflops`` > ``sustained_gflops``) are
+        systematically overpredicted, exactly like the paper's MICs.
+        Zero-FLOP loops (pure copies) fall back to the bandwidth bound.
+        """
+        dev = self.devices[devid]
+        fpi = self.kernel.flops_per_iter()
+        mem_bps = dev.spec.mem_bandwidth_gbs * 1e9
+        t_flops = fpi / (dev.spec.modeled_gflops * 1e9)
+        t_mem = self.kernel.mem_accesses_per_iter() * ELEM / mem_bps
+        return max(t_flops, t_mem)
+
+    def true_per_iter_compute_s(self, devid: int) -> float:
+        """Actual roofline ExeT per iteration (the engine's ground truth)."""
+        dev = self.devices[devid]
+        rate = dev.throughput_iters_per_s(
+            self.kernel.flops_per_iter(),
+            self.kernel.mem_accesses_per_iter() * ELEM * self.kernel.device_mem_factor,
+        )
+        return 1.0 / rate
+
+    def per_iter_xfer_s(self, devid: int) -> float:
+        """DataT per iteration: aligned bytes over the device link."""
+        dev = self.devices[devid]
+        if dev.spec.link.is_shared:
+            return 0.0
+        nbytes = self.kernel.xfer_elems_per_iter() * ELEM
+        # Steady-state: bandwidth term only; latencies are in fixed_cost_s.
+        return nbytes / (self.devices[devid].spec.link.bandwidth_gbs * 1e9)
+
+    def fixed_cost_s(self, devid: int) -> float:
+        """One-off cost of involving a device: launch, link latencies, and
+        the broadcast of FULL-mapped input arrays."""
+        dev = self.devices[devid]
+        cost = dev.spec.launch_overhead_s
+        if not dev.spec.link.is_shared:
+            cost += 2 * dev.spec.link.latency_s  # one in + one out message
+            cost += dev.spec.link.transfer_time(self.kernel.replicated_in_bytes())
+        return cost
+
+    def per_iter_total_s(self, devid: int) -> float:
+        """Compute + data movement per iteration (MODEL_2's view)."""
+        return self.per_iter_compute_s(devid) + self.per_iter_xfer_s(devid)
+
+
+class LoopScheduler(ABC):
+    """Base class for loop-distribution algorithms."""
+
+    #: paper Table II notation, e.g. "SCHED_DYNAMIC"
+    notation: str = "?"
+    #: number of distribution stages (Table II column)
+    stages: int = 1
+    #: whether the CUTOFF ratio applies (last four algorithms in Table II)
+    supports_cutoff: bool = False
+
+    def __init__(self) -> None:
+        self._ctx: SchedContext | None = None
+
+    @property
+    def ctx(self) -> SchedContext:
+        if self._ctx is None:
+            raise SchedulingError(f"{self.notation}: start() not called")
+        return self._ctx
+
+    def start(self, ctx: SchedContext) -> None:
+        """Reset internal state for a new offload."""
+        self._ctx = ctx
+
+    @abstractmethod
+    def next(self, devid: int) -> Decision:
+        """The next chunk for ``devid``, BARRIER, or None when done."""
+
+    def observe(self, devid: int, chunk: IterRange, elapsed_s: float) -> None:
+        """Feedback after a chunk completes (profiling algorithms)."""
+
+    def at_barrier(self) -> None:
+        """All active devices reached the barrier (two-stage algorithms)."""
+
+    def describe(self) -> str:
+        """Paper-style notation with parameters, e.g. 'SCHED_DYNAMIC,2%'."""
+        return self.notation

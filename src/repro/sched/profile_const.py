@@ -1,0 +1,25 @@
+"""Constant-sample profiling — SCHED_PROFILE_AUTO (paper §IV.C.1).
+
+"Each device receives the same amount of loop iterations and compute in
+stage 1."  The sample size is ``sample_pct`` of the iteration space per
+device (paper notation "SCHED_PROFILE_AUTO,10%,15%"), shrunk if the
+samples would not all fit.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import SchedContext
+from repro.sched.profile_base import TwoStageProfileScheduler
+
+__all__ = ["ProfileScheduler"]
+
+
+class ProfileScheduler(TwoStageProfileScheduler):
+    notation = "SCHED_PROFILE_AUTO"
+
+    def _sample_sizes(self, ctx: SchedContext) -> list[int]:
+        per_dev = max(1, round(ctx.n_iters * self.sample_pct))
+        # Keep at least half the loop for stage 2 so profiling cannot
+        # consume the distributable work.
+        cap = max(1, (ctx.n_iters // 2) // ctx.ndev)
+        return [min(per_dev, cap)] * ctx.ndev

@@ -1,0 +1,31 @@
+"""Model-guided sample profiling — MODEL_PROFILE_AUTO (paper §IV.C.2).
+
+"First distribute a small portion of the iterations using analytical
+model in stage 1": the stage-1 sample (``sample_pct`` of the loop in
+total) is split by the MODEL_2 equal-time solution, so fast devices
+profile on proportionally larger samples — better measurements at the same
+total profiling cost, and less stage-1 imbalance than constant samples on
+heterogeneous devices.
+"""
+
+from __future__ import annotations
+
+from repro.model.linear_system import solve_equal_time_partition
+from repro.sched.base import SchedContext
+from repro.sched.profile_base import TwoStageProfileScheduler
+from repro.util.ranges import IterRange, split_by_weights
+
+__all__ = ["ModelProfileScheduler"]
+
+
+class ModelProfileScheduler(TwoStageProfileScheduler):
+    notation = "MODEL_PROFILE_AUTO"
+
+    def _sample_sizes(self, ctx: SchedContext) -> list[int]:
+        sample_total = max(ctx.ndev, round(ctx.n_iters * self.sample_pct))
+        sample_total = min(sample_total, max(1, ctx.n_iters // 2))
+        per_iter = [ctx.per_iter_total_s(d) for d in range(ctx.ndev)]
+        fixed = [ctx.fixed_cost_s(d) for d in range(ctx.ndev)]
+        solution = solve_equal_time_partition(per_iter, fixed, sample_total)
+        chunks = split_by_weights(IterRange(0, sample_total), solution.shares)
+        return [len(c) for c in chunks]

@@ -1,0 +1,92 @@
+"""Algorithm registry — the programmatic form of paper Table II.
+
+``make_scheduler`` builds any of the seven algorithms by paper notation;
+``ALGORITHM_TABLE`` carries the taxonomy columns (approach, stages,
+overhead, load-balancing quality) that ``benchmarks/test_table2_registry``
+re-prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sched.base import LoopScheduler
+from repro.sched.block import BlockScheduler
+from repro.sched.dynamic import DynamicScheduler
+from repro.sched.guided import GuidedScheduler
+from repro.sched.model1 import Model1Scheduler
+from repro.sched.model2 import Model2Scheduler
+from repro.sched.profile_const import ProfileScheduler
+from repro.sched.profile_model import ModelProfileScheduler
+
+__all__ = ["SCHEDULERS", "make_scheduler", "ALGORITHM_TABLE", "AlgorithmInfo"]
+
+
+SCHEDULERS: dict[str, Callable[..., LoopScheduler]] = {
+    "BLOCK": BlockScheduler,
+    "SCHED_DYNAMIC": DynamicScheduler,
+    "SCHED_GUIDED": GuidedScheduler,
+    "MODEL_1_AUTO": Model1Scheduler,
+    "MODEL_2_AUTO": Model2Scheduler,
+    "SCHED_PROFILE_AUTO": ProfileScheduler,
+    "MODEL_PROFILE_AUTO": ModelProfileScheduler,
+}
+
+
+def make_scheduler(notation: str, **kwargs) -> LoopScheduler:
+    """Instantiate an algorithm by its paper Table II notation."""
+    try:
+        factory = SCHEDULERS[notation.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {notation!r}; known: {sorted(SCHEDULERS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One row of paper Table II."""
+
+    approach: str
+    algorithm: str
+    notation: str
+    stages: str
+    overhead: str
+    load_balancing: str
+    description: str
+
+
+ALGORITHM_TABLE: tuple[AlgorithmInfo, ...] = (
+    AlgorithmInfo(
+        "Chunk Scheduling", "Static Chunking", "BLOCK", "1", "Low",
+        "Poor to good", "Even distributions of iterations",
+    ),
+    AlgorithmInfo(
+        "Chunk Scheduling", "Dynamic Chunking", "SCHED_DYNAMIC,2%", "Multiple",
+        "High", "Good", "Each device receives chunks of same size",
+    ),
+    AlgorithmInfo(
+        "Chunk Scheduling", "Guided Chunking", "SCHED_GUIDED,20%", "Multiple",
+        "High", "Good", "Each device receives chunk of different sizes",
+    ),
+    AlgorithmInfo(
+        "Analytical Modeling", "Compute-only Modeling", "MODEL_1_AUTO,-1,15%",
+        "1", "Low", "Medium", "Only considers computation in modeling",
+    ),
+    AlgorithmInfo(
+        "Analytical Modeling", "Compute/Data Modeling", "MODEL_2_AUTO,-1,15%",
+        "1", "Low", "Medium to good",
+        "Considers both computation and data movement",
+    ),
+    AlgorithmInfo(
+        "Sample Profiling", "Constant Sampling", "SCHED_PROFILE_AUTO,10%,15%",
+        "2", "Medium", "Medium to good", "Constant sample size for profiling",
+    ),
+    AlgorithmInfo(
+        "Sample Profiling", "Model-based Sampling", "MODEL_PROFILE_AUTO,10%,15%",
+        "2", "Medium", "Medium to good",
+        "Uses models to select sample sizes for profiling",
+    ),
+)

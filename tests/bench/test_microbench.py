@@ -1,0 +1,43 @@
+"""Microbenchmark calibration round-trips against the machine specs."""
+
+import pytest
+
+from repro.bench.microbench import probe_device_rate, probe_link
+from repro.machine.presets import k40_spec, mic_spec
+
+
+def test_probe_recovers_spec_constants_exactly():
+    link = k40_spec().link
+    probe = probe_link(link)
+    assert probe.alpha_s == pytest.approx(link.latency_s, rel=1e-6)
+    assert probe.bandwidth_gbs() == pytest.approx(link.bandwidth_gbs, rel=1e-6)
+
+
+def test_probe_with_noise_recovers_within_tolerance():
+    link = mic_spec().link
+    probe = probe_link(link, noise=0.03, seed=1)
+    assert probe.bandwidth_gbs() == pytest.approx(link.bandwidth_gbs, rel=0.15)
+
+
+def test_probe_is_seed_deterministic():
+    link = k40_spec().link
+    a = probe_link(link, noise=0.05, seed=9)
+    b = probe_link(link, noise=0.05, seed=9)
+    assert a.times_s == b.times_s
+
+
+def test_device_rate_approaches_sustained_for_large_runs():
+    spec = k40_spec()
+    rate = probe_device_rate(spec, flops=1e12)
+    assert rate == pytest.approx(spec.sustained_gflops, rel=0.01)
+
+
+def test_device_rate_suppressed_by_launch_overhead_for_small_runs():
+    spec = mic_spec()
+    small = probe_device_rate(spec, flops=1e6)
+    assert small < spec.sustained_gflops * 0.1
+
+
+def test_device_rate_rejects_bad_flops():
+    with pytest.raises(ValueError):
+        probe_device_rate(k40_spec(), flops=0)

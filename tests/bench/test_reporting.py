@@ -1,0 +1,52 @@
+"""CSV reporting and the shipped machine description files."""
+
+import csv
+
+import pytest
+import io
+from pathlib import Path
+
+from repro.bench.reporting import breakdown_to_csv, grid_to_csv
+from repro.bench.runner import run_grid, run_one
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import cpu_mic_node, full_node, gpu4_node
+from repro.machine.spec import MachineSpec
+
+MACHINES_DIR = Path(__file__).resolve().parents[2] / "machines"
+
+
+def test_grid_to_csv_round_trips():
+    grid = run_grid(
+        gpu4_node(),
+        {"axpy": lambda: make_kernel("axpy", 400)},
+        policies=("BLOCK", "SCHED_DYNAMIC"),
+    )
+    rows = list(csv.reader(io.StringIO(grid_to_csv(grid))))
+    assert rows[0] == ["kernel", "BLOCK", "SCHED_DYNAMIC"]
+    assert rows[1][0] == "axpy"
+    assert float(rows[1][1]) == pytest.approx(
+        grid.time_ms("axpy", "BLOCK"), abs=1e-6
+    )
+
+
+def test_breakdown_to_csv_covers_participants():
+    result = run_one(full_node(), make_kernel("axpy", 2000), "SCHED_DYNAMIC")
+    rows = list(csv.reader(io.StringIO(breakdown_to_csv(result))))
+    assert rows[0][0] == "device"
+    assert len(rows) - 1 == len(result.participating)
+    total_iters = sum(int(r[1]) for r in rows[1:])
+    assert total_iters == 2000
+
+
+def test_shipped_machine_files_match_presets():
+    assert MachineSpec.from_file(MACHINES_DIR / "paper_node.json") == full_node()
+    assert MachineSpec.from_file(MACHINES_DIR / "gpu4.json") == gpu4_node()
+    assert MachineSpec.from_file(MACHINES_DIR / "cpu2_mic2.json") == cpu_mic_node()
+
+
+def test_runtime_boots_from_shipped_file():
+    from repro.runtime.runtime import HompRuntime
+
+    rt = HompRuntime.from_file(MACHINES_DIR / "paper_node.json")
+    r = rt.parallel_for(make_kernel("axpy", 500), schedule="BLOCK")
+    assert r.devices_used == 8

@@ -1,0 +1,61 @@
+"""Workload scaling and the REPRO_BENCH_SCALE environment knob."""
+
+import pytest
+
+from repro.bench.workloads import (
+    BENCH_SCALE_ENV,
+    WORKLOAD_NAMES,
+    bench_scale,
+    workload,
+    workload_label,
+)
+from repro.kernels.registry import PAPER_SIZES
+
+
+def test_all_paper_workloads_present():
+    assert set(WORKLOAD_NAMES) == {"axpy", "sum", "matvec", "matmul", "stencil", "bm"}
+
+
+def test_default_scales_defined_for_all(monkeypatch):
+    monkeypatch.delenv(BENCH_SCALE_ENV, raising=False)
+    for name in WORKLOAD_NAMES:
+        assert 0 < bench_scale(name) <= 1.0
+
+
+def test_env_full_restores_paper_sizes(monkeypatch):
+    monkeypatch.setenv(BENCH_SCALE_ENV, "full")
+    assert bench_scale("axpy") == 1.0
+
+
+def test_env_float(monkeypatch):
+    monkeypatch.setenv(BENCH_SCALE_ENV, "0.25")
+    assert bench_scale("sum") == 0.25
+
+
+def test_env_garbage_rejected(monkeypatch):
+    monkeypatch.setenv(BENCH_SCALE_ENV, "lots")
+    with pytest.raises(ValueError):
+        bench_scale("axpy")
+
+
+def test_env_out_of_range_rejected(monkeypatch):
+    monkeypatch.setenv(BENCH_SCALE_ENV, "2.0")
+    with pytest.raises(ValueError):
+        bench_scale("axpy")
+
+
+def test_workload_builds_fresh_kernels(monkeypatch):
+    monkeypatch.delenv(BENCH_SCALE_ENV, raising=False)
+    a = workload("stencil")
+    b = workload("stencil")
+    assert a is not b
+    assert a.n_iters == b.n_iters == PAPER_SIZES["stencil"]  # scale 1.0
+
+
+def test_workload_labels_match_table5_spelling():
+    assert workload_label("axpy") == "axpy-10M"
+    assert workload_label("sum") == "sum-300M"
+    assert workload_label("matvec") == "matvec-48k"
+    assert workload_label("stencil") == "stencil2d-256"
+    assert workload_label("bm") == "bm2d-256"
+    assert workload_label("matmul").startswith("matul-")  # the paper's typo

@@ -1,0 +1,54 @@
+"""Shared fixtures: machines and small kernels used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.presets import (
+    cpu_mic_node,
+    cpu_spec,
+    full_node,
+    gpu4_node,
+    homogeneous_node,
+)
+from repro.kernels.registry import make_kernel
+
+
+@pytest.fixture
+def gpu4():
+    return gpu4_node()
+
+
+@pytest.fixture
+def cpu_mic():
+    return cpu_mic_node()
+
+
+@pytest.fixture
+def fullnode():
+    return full_node()
+
+
+@pytest.fixture
+def homog2():
+    return homogeneous_node(2)
+
+
+@pytest.fixture
+def host_only():
+    return homogeneous_node(2, cpu_spec())
+
+
+@pytest.fixture
+def axpy_small():
+    return make_kernel("axpy", 1000, seed=1)
+
+
+@pytest.fixture
+def sum_small():
+    return make_kernel("sum", 1500, seed=2)
+
+
+@pytest.fixture
+def stencil_small():
+    return make_kernel("stencil", 48, seed=3)

@@ -1,0 +1,84 @@
+"""PCIe-slot contention: paired K40s behind one K80 link."""
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import OffloadEngine
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import gpu4_k80_paired_node, gpu4_node
+from repro.machine.spec import MachineSpec
+from repro.sched.block import BlockScheduler
+from repro.sched.dynamic import DynamicScheduler
+
+
+def run(machine, kernel, sched=None, **kw):
+    return OffloadEngine(machine=machine, **kw).run(kernel, sched or BlockScheduler())
+
+
+def test_paired_transfers_contend():
+    dedicated = run(gpu4_node(), make_kernel("axpy", 2_000_000))
+    paired = run(gpu4_k80_paired_node(), make_kernel("axpy", 2_000_000))
+    # the pair shares one bus: transfer-bound offloads take nearly 2x
+    assert paired.total_time_s > 1.6 * dedicated.total_time_s
+
+
+def test_penalty_scales_with_transfer_share():
+    def penalty(name, n):
+        d = run(gpu4_node(), make_kernel(name, n)).total_time_s
+        p = run(gpu4_k80_paired_node(), make_kernel(name, n)).total_time_s
+        return p / d
+
+    # the transfer-dominated kernel suffers close to the full 2x; the
+    # compute-heavier one loses less
+    assert penalty("axpy", 2_000_000) > penalty("bm", 256) > 1.0
+
+
+def test_numerics_unaffected():
+    k = make_kernel("axpy", 50_000, seed=9)
+    run(gpu4_k80_paired_node(), k, DynamicScheduler(0.05))
+    assert np.allclose(k.arrays["y"], k.reference()["y"])
+
+
+def test_single_member_group_is_free_of_contention():
+    base = gpu4_node(1)
+    solo_grouped = MachineSpec(
+        name="solo",
+        devices=(
+            type(base[0])(
+                **{**{f: getattr(base[0], f) for f in (
+                    "name", "dev_type", "sustained_gflops", "mem_bandwidth_gbs",
+                    "link", "memory", "launch_overhead_s", "sched_overhead_s",
+                    "setup_overhead_s", "noise",
+                )}, "pcie_group": "only"},
+            ),
+        ),
+    )
+    t1 = run(base, make_kernel("axpy", 500_000)).total_time_s
+    t2 = run(solo_grouped, make_kernel("axpy", 500_000)).total_time_s
+    assert t1 == pytest.approx(t2)
+
+
+def test_group_round_trips_through_machine_file(tmp_path):
+    m = gpu4_k80_paired_node()
+    path = tmp_path / "m.json"
+    m.to_file(path)
+    m2 = MachineSpec.from_file(path)
+    assert m2[0].pcie_group == "k80-card-0"
+    assert m2[2].pcie_group == "k80-card-1"
+
+
+def test_paired_timeline_never_overlaps_in_group():
+    engine = OffloadEngine(machine=gpu4_k80_paired_node(), record_events=True)
+    engine.run(make_kernel("axpy", 1_000_000), DynamicScheduler(0.05))
+    tl = engine.timeline
+    for group in ({0, 1}, {2, 3}):
+        spans = []
+        for e in tl.events:
+            if e.devid in group:
+                if e.in_end > e.in_start:
+                    spans.append((e.in_start, e.in_end))
+                if e.out_end > e.out_start:
+                    spans.append((e.out_start, e.out_end))
+        spans.sort()
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert b0 >= a1 - 1e-15, "transfers within a PCIe group overlapped"

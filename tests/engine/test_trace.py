@@ -1,0 +1,84 @@
+"""DeviceTrace / OffloadResult metrics."""
+
+import pytest
+
+from repro.engine.trace import DeviceTrace, OffloadResult
+
+
+def trace(**kw):
+    base = dict(devid=0, name="d0")
+    base.update(kw)
+    return DeviceTrace(**base)
+
+
+def test_busy_includes_all_active_buckets():
+    t = trace(setup_s=1.0, sched_s=2.0, xfer_in_s=3.0, xfer_out_s=4.0, compute_s=5.0)
+    assert t.busy_s == 15.0
+    assert t.data_movement_s == 7.0
+
+
+def test_breakdown_percentages():
+    t = trace(sched_s=1.0, xfer_in_s=2.0, xfer_out_s=2.0, compute_s=4.0, barrier_s=1.0)
+    pct = t.breakdown_pct()
+    assert pct["sched"] == pytest.approx(10.0)
+    assert pct["data"] == pytest.approx(40.0)
+    assert pct["compute"] == pytest.approx(40.0)
+    assert pct["barrier"] == pytest.approx(10.0)
+
+
+def test_breakdown_of_idle_device_is_zero():
+    assert trace().breakdown_pct() == {
+        "sched": 0.0, "data": 0.0, "compute": 0.0, "barrier": 0.0
+    }
+
+
+def test_participation():
+    assert not trace().participated
+    assert trace(chunks=1).participated
+
+
+def result_with(finishes):
+    traces = [
+        trace(devid=i, name=f"d{i}", chunks=1, iters=10, finish_s=f)
+        for i, f in enumerate(finishes)
+    ]
+    return OffloadResult(
+        kernel_name="k", algorithm="A", total_time_s=max(finishes), traces=traces
+    )
+
+
+def test_imbalance_zero_when_all_finish_together():
+    assert result_with([2.0, 2.0, 2.0]).imbalance_pct() == 0.0
+
+
+def test_imbalance_counts_average_idle_fraction():
+    r = result_with([1.0, 2.0])  # device 0 idles 50% of the offload
+    assert r.imbalance_pct() == pytest.approx(25.0)
+
+
+def test_imbalance_ignores_non_participants():
+    r = result_with([4.0, 4.0])
+    r.traces.append(trace(devid=9, name="idle"))
+    assert r.imbalance_pct() == 0.0
+
+
+def test_devices_used():
+    r = result_with([1.0, 1.0])
+    r.traces.append(trace(devid=9, name="idle"))
+    assert r.devices_used == 2
+
+
+def test_total_time_ms():
+    r = result_with([0.5])
+    assert r.total_time_ms == 500.0
+
+
+def test_iterations_per_device():
+    r = result_with([1.0, 2.0])
+    assert r.iterations_per_device() == {"d0": 10, "d1": 10}
+
+
+def test_empty_result_metrics():
+    r = OffloadResult(kernel_name="k", algorithm="A", total_time_s=0.0, traces=[])
+    assert r.imbalance_pct() == 0.0
+    assert r.breakdown_pct()["compute"] == 0.0

@@ -1,0 +1,54 @@
+"""Cross-validation: the per-device trace buckets must equal the sums of
+the corresponding event spans — two independent accounting paths through
+the simulator that cannot be allowed to drift apart."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.simulator import OffloadEngine
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import cpu_mic_node, full_node, gpu4_node
+from repro.sched.registry import make_scheduler
+
+MACHINES = [gpu4_node, cpu_mic_node, full_node]
+ALGOS = [
+    ("BLOCK", {}),
+    ("SCHED_DYNAMIC", {"chunk_pct": 0.05}),
+    ("SCHED_GUIDED", {}),
+    ("MODEL_2_AUTO", {}),
+    ("SCHED_PROFILE_AUTO", {}),
+]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    machine_i=st.integers(0, len(MACHINES) - 1),
+    algo_i=st.integers(0, len(ALGOS) - 1),
+    n=st.integers(100, 20_000),
+)
+def test_trace_equals_timeline_sums(machine_i, algo_i, n):
+    machine = MACHINES[machine_i]()
+    name, kwargs = ALGOS[algo_i]
+    engine = OffloadEngine(
+        machine=machine, record_events=True, execute_numerically=False
+    )
+    result = engine.run(make_kernel("axpy", n), make_scheduler(name, **kwargs))
+    timeline = engine.timeline
+
+    for trace in result.traces:
+        events = timeline.for_device(trace.devid)
+        assert len(events) == trace.chunks
+        assert sum(len(e.chunk) for e in events) == trace.iters
+        assert sum(e.in_end - e.in_start for e in events) == pytest.approx(
+            trace.xfer_in_s, abs=1e-15
+        )
+        assert sum(e.out_end - e.out_start for e in events) == pytest.approx(
+            trace.xfer_out_s, abs=1e-15
+        )
+        assert sum(e.comp_end - e.comp_start for e in events) == pytest.approx(
+            trace.compute_s, abs=1e-15
+        )
+        if events:
+            assert trace.finish_s == pytest.approx(
+                max(e.out_end for e in events)
+            ) or trace.finish_s >= max(e.out_end for e in events)

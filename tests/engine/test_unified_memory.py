@@ -1,0 +1,47 @@
+"""Unified-memory devices in the engine: shared semantics, migration cost."""
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import OffloadEngine
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import homogeneous_node, k40_spec, k40_unified_spec
+from repro.sched.block import BlockScheduler
+from repro.sched.dynamic import DynamicScheduler
+
+
+def run(spec, kernel, scheduler=None):
+    m = homogeneous_node(2, spec)
+    engine = OffloadEngine(machine=m)
+    return engine.run(kernel, scheduler or BlockScheduler())
+
+
+def test_unified_is_numerically_shared():
+    k = make_kernel("axpy", 10_000, seed=6)
+    run(k40_unified_spec(), k)
+    assert np.allclose(k.arrays["y"], k.reference()["y"])
+
+
+def test_unified_pays_migration_not_zero():
+    k = make_kernel("axpy", 500_000)
+    r = run(k40_unified_spec(), k)
+    assert all(t.xfer_in_s > 0 for t in r.participating)
+
+
+def test_unified_slower_than_discrete():
+    r_d = run(k40_spec(), make_kernel("axpy", 500_000))
+    r_u = run(k40_unified_spec(), make_kernel("axpy", 500_000))
+    assert r_u.total_time_s > 5 * r_d.total_time_s
+
+
+def test_unified_spec_is_same_silicon():
+    d, u = k40_spec(), k40_unified_spec()
+    assert u.sustained_gflops == d.sustained_gflops
+    assert u.link == d.link
+    assert u.memory.value == "unified"
+
+
+def test_unified_with_dynamic_chunking_still_correct():
+    k = make_kernel("sum", 50_000, seed=7)
+    r = run(k40_unified_spec(), k, DynamicScheduler(0.1))
+    assert r.reduction == pytest.approx(k.reference())

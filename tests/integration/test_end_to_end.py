@@ -1,0 +1,71 @@
+"""End-to-end: every kernel x every algorithm x every machine preset,
+numerically verified.  This is the suite's core correctness matrix —
+each cell drives the full path (runtime -> scheduler -> engine ->
+DeviceBuffer copies -> merge) and compares against the serial reference."""
+
+import pytest
+
+from repro.bench.runner import run_one, verify_result
+from repro.kernels.registry import KERNELS, make_kernel
+from repro.machine.presets import cpu_mic_node, full_node, gpu4_node
+
+SIZES = {"axpy": 600, "sum": 800, "matvec": 48, "matmul": 40, "stencil": 40, "bm": 40}
+ALGOS = (
+    "BLOCK",
+    "SCHED_DYNAMIC",
+    "SCHED_GUIDED",
+    "MODEL_1_AUTO",
+    "MODEL_2_AUTO",
+    "SCHED_PROFILE_AUTO",
+    "MODEL_PROFILE_AUTO",
+)
+MACHINES = {
+    "gpu4": gpu4_node,
+    "cpu+mic": cpu_mic_node,
+    "full": full_node,
+}
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_matrix(machine_name, algo, kernel_name):
+    machine = MACHINES[machine_name]()
+    kernel = make_kernel(kernel_name, SIZES[kernel_name], seed=31)
+    result = run_one(machine, kernel, algo)  # verifies internally
+    assert sum(t.iters for t in result.traces) == kernel.n_iters
+    assert result.total_time_s > 0
+
+
+@pytest.mark.parametrize("algo", ("MODEL_1_AUTO", "MODEL_2_AUTO",
+                                  "SCHED_PROFILE_AUTO", "MODEL_PROFILE_AUTO"))
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_matrix_with_cutoff(algo, kernel_name):
+    machine = full_node()
+    kernel = make_kernel(kernel_name, SIZES[kernel_name], seed=32)
+    result = run_one(machine, kernel, algo, cutoff_ratio=0.15)
+    assert 1 <= result.devices_used <= 8
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_matrix_with_noise(kernel_name):
+    machine = full_node(noise=0.15)
+    kernel = make_kernel(kernel_name, SIZES[kernel_name], seed=33)
+    result = run_one(machine, kernel, "SCHED_DYNAMIC", seed=5)
+    verify_result(kernel, result)
+
+
+def test_single_device_machine_runs_everything():
+    machine = gpu4_node(1)
+    for algo in ALGOS:
+        kernel = make_kernel("axpy", 200, seed=34)
+        result = run_one(machine, kernel, algo)
+        assert result.devices_used == 1
+
+
+def test_iterations_fewer_than_devices():
+    machine = full_node()
+    for algo in ALGOS:
+        kernel = make_kernel("axpy", 3, seed=35)
+        result = run_one(machine, kernel, algo)
+        assert sum(t.iters for t in result.traces) == 3

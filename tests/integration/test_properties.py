@@ -1,0 +1,103 @@
+"""System-level property tests: for arbitrary machines, kernel sizes and
+algorithm parameters, the engine preserves its core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.simulator import OffloadEngine
+from repro.kernels.registry import make_kernel
+from repro.machine.interconnect import Link, SHARED_LINK
+from repro.machine.presets import cpu_spec
+from repro.machine.spec import DeviceSpec, DeviceType, MachineSpec, MemoryKind
+from repro.sched.registry import make_scheduler
+
+
+@st.composite
+def machines(draw):
+    n = draw(st.integers(1, 6))
+    devices = []
+    for i in range(n):
+        is_host = draw(st.booleans())
+        perf = draw(st.floats(10, 5000))
+        bw = draw(st.floats(5, 1000))
+        if is_host:
+            devices.append(
+                DeviceSpec(
+                    name=f"h{i}",
+                    dev_type=DeviceType.HOSTCPU,
+                    sustained_gflops=perf,
+                    mem_bandwidth_gbs=bw,
+                )
+            )
+        else:
+            link = Link(
+                latency_s=draw(st.floats(0, 1e-4)),
+                bandwidth_gbs=draw(st.floats(1, 50)),
+            )
+            devices.append(
+                DeviceSpec(
+                    name=f"a{i}",
+                    dev_type=draw(st.sampled_from([DeviceType.NVGPU, DeviceType.MIC])),
+                    sustained_gflops=perf,
+                    mem_bandwidth_gbs=bw,
+                    link=link,
+                    memory=MemoryKind.DISCRETE,
+                    launch_overhead_s=draw(st.floats(0, 1e-4)),
+                    setup_overhead_s=draw(st.floats(0, 1e-3)),
+                )
+            )
+    return MachineSpec(name="rand", devices=tuple(devices))
+
+
+ALGO_STRATEGY = st.sampled_from(
+    [
+        ("BLOCK", {}),
+        ("SCHED_DYNAMIC", {"chunk_pct": 0.03}),
+        ("SCHED_DYNAMIC", {"chunk_pct": 0.3}),
+        ("SCHED_GUIDED", {"first_pct": 0.25}),
+        ("MODEL_1_AUTO", {}),
+        ("MODEL_2_AUTO", {}),
+        ("SCHED_PROFILE_AUTO", {"sample_pct": 0.1}),
+        ("MODEL_PROFILE_AUTO", {"sample_pct": 0.1}),
+    ]
+)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    machine=machines(),
+    n=st.integers(1, 3000),
+    algo=ALGO_STRATEGY,
+    cutoff=st.sampled_from([0.0, 0.15]),
+)
+def test_engine_invariants_on_random_machines(machine, n, algo, cutoff):
+    name, kwargs = algo
+    kernel = make_kernel("axpy", n, seed=3)
+    scheduler = make_scheduler(name, **kwargs)
+    if cutoff > 0 and not scheduler.supports_cutoff:
+        cutoff = 0.0
+    engine = OffloadEngine(machine=machine)
+    result = engine.run(kernel, scheduler, cutoff_ratio=cutoff)
+
+    # 1. every iteration executed exactly once -> numeric correctness
+    assert np.allclose(kernel.arrays["y"], kernel.reference()["y"])
+    # 2. the trace accounts for all iterations
+    assert sum(t.iters for t in result.traces) == n
+    # 3. no device finishes after the offload "ends"
+    assert all(t.finish_s <= result.total_time_s + 1e-12 for t in result.traces)
+    # 4. time is positive and finite
+    assert 0 < result.total_time_s < float("inf")
+    # 5. breakdown buckets are non-negative
+    for t in result.traces:
+        assert t.sched_s >= 0 and t.compute_s >= 0
+        assert t.xfer_in_s >= 0 and t.xfer_out_s >= 0 and t.barrier_s >= 0
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(machine=machines(), n=st.integers(2, 500))
+def test_reduction_invariant_on_random_machines(machine, n):
+    kernel = make_kernel("sum", n, seed=4)
+    engine = OffloadEngine(machine=machine)
+    result = engine.run(kernel, make_scheduler("SCHED_DYNAMIC", chunk_pct=0.1))
+    assert result.reduction == pytest.approx(kernel.reference())

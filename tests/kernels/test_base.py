@@ -1,0 +1,125 @@
+"""LoopKernel base machinery: cost accounting, overrides, residency."""
+
+import numpy as np
+import pytest
+
+from repro.dist.policy import Block, Full
+from repro.errors import MappingError
+from repro.kernels.axpy import AxpyKernel
+from repro.kernels.matvec import MatVecKernel
+from repro.kernels.registry import make_kernel
+from repro.util.ranges import IterRange
+
+
+def test_chunk_cost_scales_linearly():
+    k = AxpyKernel(1000)
+    c1 = k.chunk_cost(IterRange(0, 100))
+    c2 = k.chunk_cost(IterRange(0, 200))
+    assert c2.flops == pytest.approx(2 * c1.flops)
+    assert c2.xfer_in_bytes == pytest.approx(2 * c1.xfer_in_bytes)
+
+
+def test_axpy_chunk_cost_values():
+    k = AxpyKernel(1000)
+    c = k.chunk_cost(IterRange(0, 100))
+    assert c.flops == 200.0
+    assert c.mem_bytes == 100 * 3 * 8
+    assert c.xfer_in_bytes == 100 * 2 * 8   # x in + y in
+    assert c.xfer_out_bytes == 100 * 1 * 8  # y out
+    assert c.replicated_in_bytes == 0.0
+
+
+def test_matvec_replicated_bytes_counts_x():
+    k = MatVecKernel(64)
+    assert k.replicated_in_bytes() == 64 * 8
+
+
+def test_execute_chunk_out_of_space_rejected():
+    k = AxpyKernel(100)
+    with pytest.raises(MappingError):
+        k.execute_chunk(IterRange(50, 150))
+
+
+def test_execute_empty_chunk_is_noop():
+    k = AxpyKernel(100)
+    before = k.arrays["y"].copy()
+    k.execute_chunk(IterRange(10, 10))
+    assert np.array_equal(k.arrays["y"], before)
+
+
+def test_stats_accumulate():
+    k = AxpyKernel(100)
+    k.execute_chunk(IterRange(0, 30))
+    k.execute_chunk(IterRange(30, 100))
+    assert k.stats.chunks == 2
+    assert k.stats.iterations == 100
+
+
+def test_set_partition_overrides_dim0():
+    k = AxpyKernel(100)
+    k.set_partition("x", Block())
+    eff = {m.name: m for m in k.effective_maps()}
+    assert eff["x"].policies[0] == Block()
+    # declared maps unchanged
+    assert {m.name: m for m in k.maps()}["x"].policies[0] != Block()
+
+
+def test_set_partition_unknown_array_rejected():
+    with pytest.raises(MappingError):
+        AxpyKernel(100).set_partition("zz", Block())
+
+
+def test_resident_arrays_drop_transfer_costs():
+    k = MatVecKernel(64)
+    base = k.chunk_cost(IterRange(0, 8))
+    k.resident = frozenset({"A", "x", "y"})
+    resident = k.chunk_cost(IterRange(0, 8))
+    assert resident.xfer_in_bytes == 0.0
+    assert resident.xfer_out_bytes == 0.0
+    assert resident.replicated_in_bytes == 0.0
+    assert base.xfer_in_bytes > 0.0
+    # compute costs unaffected
+    assert resident.flops == base.flops
+
+
+def test_partial_residency():
+    k = MatVecKernel(64)
+    k.resident = frozenset({"A"})
+    c = k.chunk_cost(IterRange(0, 8))
+    # y still moves both ways; A's row traffic gone
+    assert c.xfer_in_bytes == 8 * 8        # y in only
+    assert c.xfer_out_bytes == 8 * 8       # y out
+    assert c.replicated_in_bytes == 64 * 8  # x still broadcast
+
+
+def test_reference_uses_pristine_inputs():
+    k = AxpyKernel(100, seed=5)
+    expected = k.reference()["y"].copy()
+    k.execute_chunk(IterRange(0, 100))   # mutates y in place
+    assert np.array_equal(k.reference()["y"], expected)
+
+
+def test_non_reduction_identity_is_none():
+    k = AxpyKernel(10)
+    assert k.identity() is None
+    assert k.combine(1.0, 2.0) is None
+
+
+def test_invalid_n_iters():
+    with pytest.raises(ValueError):
+        AxpyKernel(0)
+
+
+@pytest.mark.parametrize("name", ["axpy", "sum", "matvec", "matmul", "stencil", "bm"])
+def test_all_kernels_have_positive_costs(name):
+    k = make_kernel(name, 64)
+    assert k.flops_per_iter() >= 0
+    assert k.mem_accesses_per_iter() > 0
+    assert k.xfer_elems_per_iter() > 0
+
+
+@pytest.mark.parametrize("name", ["axpy", "sum", "matvec", "matmul", "stencil", "bm"])
+def test_map_policies_match_array_rank(name):
+    k = make_kernel(name, 64)
+    for m in k.maps():
+        assert len(m.policies) == k.arrays[m.name].ndim

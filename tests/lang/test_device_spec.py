@@ -1,0 +1,96 @@
+"""Extended device(...) clause parsing (paper §III.1)."""
+
+import pytest
+
+from repro.errors import DirectiveSyntaxError
+from repro.lang.device_spec import DeviceSelector, parse_device_clause
+from repro.machine.presets import full_node
+from repro.machine.spec import DeviceType
+
+
+@pytest.fixture
+def machine():
+    return full_node()  # 0,1 = cpu; 2..5 = gpu; 6,7 = mic
+
+
+class TestPaperExamples:
+    """Every 'legal device target' the paper lists in §III.1."""
+
+    def test_all_devices(self, machine):
+        assert parse_device_clause("device(0:*)", machine) == list(range(8))
+
+    def test_explicit_list(self, machine):
+        assert parse_device_clause("device(0, 2, 3, 5)", machine) == [0, 2, 3, 5]
+
+    def test_two_ranges(self, machine):
+        assert parse_device_clause("device(0:2, 4:2)", machine) == [0, 1, 4, 5]
+
+    def test_type_filter(self, machine):
+        assert parse_device_clause(
+            "device(0:*:HOMP_DEVICE_NVGPU)", machine
+        ) == [2, 3, 4, 5]
+
+
+def test_bare_star(machine):
+    assert parse_device_clause("device(*)", machine) == list(range(8))
+
+
+def test_short_type_filter(machine):
+    assert parse_device_clause("device(0:*:MIC)", machine) == [6, 7]
+
+
+def test_single_id_defaults_to_count_one(machine):
+    assert parse_device_clause("device(3)", machine) == [3]
+
+
+def test_clause_without_keyword(machine):
+    assert parse_device_clause("(0:2)", machine) == [0, 1]
+    assert parse_device_clause("0:2", machine) == [0, 1]
+
+
+def test_duplicates_removed_order_preserved(machine):
+    assert parse_device_clause("device(3, 0:2, 3)", machine) == [3, 0, 1]
+
+
+def test_range_starting_midway(machine):
+    assert parse_device_clause("device(6:*)", machine) == [6, 7]
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "device()",
+        "device(,)",
+        "device(99)",
+        "device(-1)",
+        "device(0:0)",
+        "device(7:5)",       # exceeds machine
+        "device(0:*:TPU)",   # unknown type
+        "device(x)",
+        "device(0:y)",
+        "device(*:2)",       # '*' takes no count
+    ],
+)
+def test_invalid_clauses(machine, text):
+    with pytest.raises(DirectiveSyntaxError):
+        parse_device_clause(text, machine)
+
+
+def test_type_filter_selecting_nothing_rejected(machine):
+    gpu_only = machine.subset([2, 3])
+    with pytest.raises(DirectiveSyntaxError):
+        parse_device_clause("device(0:*:MIC)", gpu_only)
+
+
+class TestSelector:
+    def test_expand_respects_count(self, machine):
+        sel = DeviceSelector(initial=2, count=2, type_filter=None)
+        assert sel.expand(machine) == [2, 3]
+
+    def test_expand_star(self, machine):
+        sel = DeviceSelector(initial=4, count=None, type_filter=None)
+        assert sel.expand(machine) == [4, 5, 6, 7]
+
+    def test_expand_filters_type(self, machine):
+        sel = DeviceSelector(initial=0, count=None, type_filter=DeviceType.HOSTCPU)
+        assert sel.expand(machine) == [0, 1]

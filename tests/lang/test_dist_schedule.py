@@ -1,0 +1,60 @@
+"""dist_schedule(target:...) clause parsing (paper §III.2)."""
+
+import pytest
+
+from repro.dist.policy import Align, Auto, Block
+from repro.errors import DirectiveSyntaxError
+from repro.lang.dist_schedule import parse_dist_schedule
+
+
+def test_target_auto():
+    out = parse_dist_schedule("dist_schedule(target:[AUTO])")
+    assert out.modifier == "target"
+    assert out.policies == (Auto(),)
+
+
+def test_target_align():
+    out = parse_dist_schedule("dist_schedule(target:[ALIGN(x)])")
+    assert out.policies == (Align("x"),)
+
+
+def test_target_align_loop_label():
+    out = parse_dist_schedule("dist_schedule(target:[ALIGN(loop1)])")
+    assert out.policies == (Align("loop1"),)
+
+
+def test_teams_modifier():
+    out = parse_dist_schedule("dist_schedule(teams:[BLOCK])")
+    assert out.modifier == "teams"
+    assert out.policies == (Block(),)
+
+
+def test_multiple_policies_for_nested_loops():
+    out = parse_dist_schedule("dist_schedule(target:[BLOCK],[FULL])")
+    assert out.policies == (Block(),)[:1] + out.policies[1:]
+    assert len(out.policies) == 2
+
+
+def test_without_keyword_prefix():
+    out = parse_dist_schedule("(target:[AUTO])")
+    assert out.policies == (Auto(),)
+
+
+def test_missing_modifier_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_dist_schedule("dist_schedule([AUTO])")
+
+
+def test_unknown_modifier_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_dist_schedule("dist_schedule(nodes:[AUTO])")
+
+
+def test_empty_policies_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_dist_schedule("dist_schedule(target:)")
+
+
+def test_bad_policy_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_dist_schedule("dist_schedule(target:[SOMETIMES])")

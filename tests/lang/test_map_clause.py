@@ -1,0 +1,105 @@
+"""map(...) clause parsing with partition and halo parameters."""
+
+import pytest
+
+from repro.dist.policy import Align, Block, Full
+from repro.errors import DirectiveSyntaxError
+from repro.lang.map_clause import parse_map_clause
+from repro.memory.space import MapDirection
+
+
+def test_simple_scalar_maps():
+    maps = parse_map_clause("map(to: a, n)")
+    assert [m.name for m in maps] == ["a", "n"]
+    assert all(m.is_scalar for m in maps)
+    assert all(m.direction is MapDirection.TO for m in maps)
+
+
+def test_array_section_with_block_partition():
+    """The paper's Fig. 2 v1 y-map."""
+    maps = parse_map_clause("map(tofrom: y[0:n] partition([BLOCK]))")
+    (m,) = maps
+    assert m.name == "y"
+    assert m.direction is MapDirection.TOFROM
+    assert m.sections[0].lower == "0"
+    assert m.sections[0].extent == "n"
+    assert m.policies == (Block(),)
+
+
+def test_align_partition():
+    """The paper's Fig. 2 v2 x-map."""
+    maps = parse_map_clause("map(to: x[0:n] partition([ALIGN(loop)]), a, n)")
+    assert maps[0].policies == (Align("loop"),)
+    assert maps[1].is_scalar and maps[2].is_scalar
+
+
+def test_two_dimensional_partition():
+    """The paper's Fig. 3 f-map: partition([ALIGN(loop1)], FULL)."""
+    maps = parse_map_clause(
+        "map(to: f[0:n][0:m] partition([ALIGN(loop1)], FULL))"
+    )
+    (m,) = maps
+    assert len(m.sections) == 2
+    assert m.policies == (Align("loop1"), Full())
+
+
+def test_halo_with_elided_upper():
+    """The paper's Fig. 3 uold-map: halo(1,)."""
+    maps = parse_map_clause(
+        "map(alloc: uold[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))"
+    )
+    (m,) = maps
+    assert m.direction is MapDirection.ALLOC
+    assert m.halo == (1, 1)
+
+
+def test_halo_two_widths():
+    maps = parse_map_clause("map(to: u[0:n] partition([BLOCK]) halo(2,3))")
+    assert maps[0].halo == (2, 3)
+
+
+def test_section_without_partition_defaults_to_full():
+    maps = parse_map_clause("map(to: x[0:n])")
+    assert maps[0].policies == (Full(),)
+
+
+def test_direction_required():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_map_clause("map(x, y)")
+
+
+def test_unknown_direction():
+    with pytest.raises(Exception):
+        parse_map_clause("map(sideways: x)")
+
+
+def test_policy_count_must_match_sections():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_map_clause("map(to: x[0:n][0:m] partition([BLOCK]))")
+
+
+def test_negative_halo_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_map_clause("map(to: x[0:n] partition([BLOCK]) halo(-1,0))")
+
+
+def test_empty_map_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_map_clause("map(to: )")
+
+
+def test_unbalanced_brackets_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_map_clause("map(to: x[0:n partition([BLOCK]))")
+
+
+def test_garbage_after_item_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_map_clause("map(to: x[0:n] wibble(1))")
+
+
+def test_commas_inside_partition_do_not_split_items():
+    maps = parse_map_clause(
+        "map(to: u[0:n][0:m] partition([ALIGN(loop1)], FULL), v[0:n])"
+    )
+    assert [m.name for m in maps] == ["u", "v"]

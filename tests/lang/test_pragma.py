@@ -1,0 +1,123 @@
+"""Whole-directive parsing: the paper's Fig. 2 and Fig. 3 pragmas."""
+
+import pytest
+
+from repro.dist.policy import Align, Auto, Block, Full
+from repro.errors import DirectiveSyntaxError
+from repro.lang.pragma import parse_directive
+from repro.memory.space import MapDirection
+
+FIG2_V1 = """#pragma omp parallel target device (*) \\
+    map(tofrom: y[0:n] partition([BLOCK])) \\
+    map(to: x[0:n] partition([BLOCK]),a,n)"""
+
+FIG2_V1_LOOP = (
+    "#pragma omp parallel for distribute dist_schedule(target:[ALIGN(x)])"
+)
+
+FIG2_V2 = """#pragma omp parallel target device (*) \\
+    map(tofrom: y[0:n] partition([ALIGN(loop)])) \\
+    map(to: x[0:n] partition([ALIGN(loop)]),a,n)"""
+
+FIG3_DATA = """#pragma omp parallel target data device(*) \\
+  map(to:n, m, omega, ax, ay, b, \\
+    f[0:n][0:m] partition([ALIGN(loop1)], FULL)) \\
+  map(tofrom:u[0:n][0:m] \\
+    partition([ALIGN(loop1)], FULL)) \\
+  map(alloc:uold[0:n][0:m] \\
+    partition([ALIGN(loop1)], FULL) halo(1,))"""
+
+FIG3_SWEEP = """#pragma omp parallel for target device(*) \\
+  reduction(+:error) \\
+  distribute dist_schedule(target:[AUTO])"""
+
+FIG3_COPY = """#pragma omp parallel for target device(*) collapse(2) \\
+  distribute dist_schedule(target:[ALIGN(loop1)])"""
+
+
+def test_fig2_v1_data_directive():
+    d = parse_directive(FIG2_V1)
+    assert d.is_parallel_target
+    assert d.device_clause == "(*)"
+    names = [m.name for m in d.maps]
+    assert names == ["y", "x", "a", "n"]
+    assert d.maps[0].direction is MapDirection.TOFROM
+    assert d.maps[0].policies == (Block(),)
+    assert d.maps[2].is_scalar
+
+
+def test_fig2_v1_loop_directive():
+    d = parse_directive(FIG2_V1_LOOP)
+    assert "distribute" in d.directives
+    assert d.dist_schedule.policies == (Align("x"),)
+
+
+def test_fig2_v2_aligns_data_with_loop():
+    d = parse_directive(FIG2_V2)
+    assert d.maps[0].policies == (Align("loop"),)
+    assert d.maps[1].policies == (Align("loop"),)
+
+
+def test_fig3_data_region():
+    d = parse_directive(FIG3_DATA)
+    assert d.is_data_region
+    by_name = {m.name: m for m in d.maps}
+    assert by_name["f"].policies == (Align("loop1"), Full())
+    assert by_name["uold"].direction is MapDirection.ALLOC
+    assert by_name["uold"].halo == (1, 1)
+    assert by_name["u"].direction is MapDirection.TOFROM
+    # the six scalars
+    assert by_name["omega"].is_scalar
+
+
+def test_fig3_sweep_directive():
+    d = parse_directive(FIG3_SWEEP)
+    assert d.reduction == ("+", "error")
+    assert d.dist_schedule.policies == (Auto(),)
+
+
+def test_fig3_copy_directive():
+    d = parse_directive(FIG3_COPY)
+    assert d.collapse == 2
+    assert d.dist_schedule.policies == (Align("loop1"),)
+
+
+def test_halo_exchange_directive():
+    d = parse_directive("#pragma omp halo_exchange (uold)")
+    assert d.other_clauses.get("halo_exchange") == "uold"
+
+
+def test_pragma_prefix_optional():
+    d = parse_directive("omp parallel target device(0:2)")
+    assert d.is_parallel_target
+    assert d.device_clause == "(0:2)"
+
+
+def test_plain_target_is_not_parallel_target():
+    d = parse_directive("omp target device(0)")
+    assert not d.is_parallel_target
+
+
+def test_unknown_directive_word_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_directive("omp paralel target device(0)")
+
+
+def test_empty_directive_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_directive("#pragma omp")
+
+
+def test_unbalanced_clause_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_directive("omp target device(0")
+
+
+def test_bad_collapse_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_directive("omp parallel for collapse(two)")
+
+
+def test_bad_reduction_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_directive("omp parallel for reduction(error)")

@@ -1,0 +1,125 @@
+"""Directive rendering and parse/render round-trips (grammar fuzzing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist.policy import Align, Block, Cyclic, Full, Auto
+from repro.lang.dist_schedule import ParsedDistSchedule
+from repro.lang.map_clause import ArraySection, ParsedMap
+from repro.lang.pragma import OffloadDirective, parse_directive
+from repro.lang.render import render_directive
+from repro.memory.space import MapDirection
+
+
+def test_render_fig2_style():
+    d = OffloadDirective(
+        directives=("parallel", "target"),
+        device_clause="(*)",
+        maps=[
+            ParsedMap(
+                name="y",
+                direction=MapDirection.TOFROM,
+                sections=(ArraySection("0", "n"),),
+                policies=(Block(),),
+            ),
+            ParsedMap(name="a", direction=MapDirection.TO),
+        ],
+    )
+    text = render_directive(d)
+    assert text.startswith("#pragma omp parallel target device(*)")
+    assert "map(tofrom: y[0:n] partition([BLOCK]))" in text
+    assert "map(to: a)" in text
+
+
+def test_round_trip_of_paper_fig3_sweep():
+    src = ("omp parallel for target device(*) reduction(+:error) "
+           "distribute dist_schedule(target:[AUTO])")
+    d = parse_directive(src)
+    d2 = parse_directive(render_directive(d))
+    assert d2.directives == d.directives
+    assert d2.reduction == d.reduction
+    assert d2.dist_schedule == d.dist_schedule
+
+
+_names = st.sampled_from(["x", "y", "u", "uold", "f", "data1"])
+_policies_1d = st.sampled_from([Full(), Block(), Cyclic(), Cyclic(4), Align("loop"), Align("loop1", 2.0)])
+
+
+@st.composite
+def parsed_maps(draw):
+    name = draw(_names)
+    ndim = draw(st.integers(0, 3))
+    sections = tuple(
+        ArraySection(str(draw(st.integers(0, 9))), draw(st.sampled_from(["n", "m", "64"])))
+        for _ in range(ndim)
+    )
+    policies = tuple(draw(_policies_1d) for _ in range(ndim))
+    halo = (0, 0)
+    if ndim:
+        halo = (draw(st.integers(0, 3)), draw(st.integers(0, 3)))
+    return ParsedMap(
+        name=name,
+        direction=draw(st.sampled_from(list(MapDirection))),
+        sections=sections,
+        policies=policies,
+        halo=halo,
+    )
+
+
+@st.composite
+def directives(draw):
+    kind = draw(st.sampled_from([("target",), ("parallel", "target"),
+                                 ("parallel", "for", "target"),
+                                 ("parallel", "target", "data")]))
+    maps = draw(st.lists(parsed_maps(), max_size=4))
+    # unique names: the renderer groups by direction; duplicate names with
+    # different shapes would be ambiguous to compare
+    seen = set()
+    unique = []
+    for m in maps:
+        if m.name not in seen:
+            seen.add(m.name)
+            unique.append(m)
+    dist = None
+    if draw(st.booleans()):
+        dist = ParsedDistSchedule(
+            modifier=draw(st.sampled_from(["target", "teams"])),
+            policies=tuple(
+                draw(st.lists(st.sampled_from([Auto(), Block(), Full(), Align("x")]),
+                              min_size=1, max_size=2))
+            ),
+        )
+    reduction = ("+", "err") if draw(st.booleans()) else None
+    collapse = draw(st.sampled_from([None, 2, 3]))
+    return OffloadDirective(
+        directives=kind,
+        device_clause=draw(st.sampled_from([None, "(*)", "(0:2)", "(0:*:NVGPU)"])),
+        maps=unique,
+        dist_schedule=dist,
+        reduction=reduction,
+        collapse=collapse,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(d=directives())
+def test_property_parse_render_round_trip(d):
+    text = render_directive(d)
+    parsed = parse_directive(text)
+    assert parsed.directives == d.directives
+    assert parsed.device_clause == d.device_clause
+    assert parsed.dist_schedule == d.dist_schedule
+    assert parsed.reduction == d.reduction
+    assert parsed.collapse == d.collapse
+    # maps compare as sets of (name, direction, sections, policies, halo):
+    # rendering groups by direction, so order within a direction only
+    got = {
+        (m.name, m.direction, m.sections, m.policies, m.halo)
+        for m in parsed.maps
+    }
+    want = {
+        (m.name, m.direction, m.sections, m.policies,
+         m.halo if m.sections else (0, 0))
+        for m in d.maps
+    }
+    assert got == want

@@ -1,0 +1,98 @@
+"""Device cost model: roofline compute time, transfers, noise streams."""
+
+import pytest
+
+from repro.machine.device import Device
+from repro.machine.presets import cpu_spec, k40_spec
+from repro.machine.spec import DeviceSpec, DeviceType, MemoryKind
+from repro.machine.interconnect import Link
+
+
+def gpu(noise=0.0):
+    base = k40_spec(noise=noise)
+    return Device(0, base)
+
+
+def test_compute_time_flops_bound():
+    d = gpu()
+    # negligible memory traffic -> flops-bound
+    t = d.compute_time(1.1e9, 8.0, noisy=False)
+    assert t == pytest.approx(1e-3 + d.spec.launch_overhead_s)
+
+
+def test_compute_time_memory_bound():
+    d = gpu()
+    # negligible flops, 210 MB of traffic at 210 GB/s -> 1 ms
+    t = d.compute_time(1.0, 210e6, noisy=False)
+    assert t == pytest.approx(1e-3 + d.spec.launch_overhead_s)
+
+
+def test_roofline_takes_max_not_sum():
+    d = gpu()
+    t_both = d.compute_time(1.1e9, 210e6, noisy=False)
+    assert t_both == pytest.approx(1e-3 + d.spec.launch_overhead_s)
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        gpu().compute_time(-1, 0)
+    with pytest.raises(ValueError):
+        gpu().compute_time(0, -1)
+
+
+def test_transfer_time_uses_link():
+    d = gpu()
+    assert d.transfer_time(11e9) == pytest.approx(
+        d.spec.link.latency_s + 1.0
+    )
+
+
+def test_host_transfer_is_free():
+    d = Device(0, cpu_spec())
+    assert d.transfer_time(1e9) == 0.0
+
+
+def test_unified_memory_device_shares_host_memory():
+    spec = DeviceSpec(
+        "u", DeviceType.NVGPU, 100.0, 100.0,
+        link=Link(1e-6, 10.0), memory=MemoryKind.UNIFIED,
+    )
+    d = Device(0, spec)
+    assert d.shares_host_memory
+    # but the unified link still has a cost if asked directly
+    assert spec.link.transfer_time(1e9) > 0
+
+
+def test_noise_is_reproducible_per_seed():
+    d1 = gpu(noise=0.1)
+    d2 = gpu(noise=0.1)
+    d1.reseed(42)
+    d2.reseed(42)
+    a = [d1.compute_time(1e9, 0) for _ in range(5)]
+    b = [d2.compute_time(1e9, 0) for _ in range(5)]
+    assert a == b
+
+
+def test_noise_changes_with_seed():
+    d1 = gpu(noise=0.1)
+    d2 = gpu(noise=0.1)
+    d1.reseed(1)
+    d2.reseed(2)
+    assert d1.compute_time(1e9, 0) != d2.compute_time(1e9, 0)
+
+
+def test_zero_noise_is_deterministic_exactly():
+    d = gpu(noise=0.0)
+    assert d.compute_time(1e9, 0) == d.compute_time(1e9, 0)
+
+
+def test_throughput_matches_per_iter_cost():
+    d = gpu()
+    rate = d.throughput_iters_per_s(2.0, 24.0)
+    per_iter = max(2.0 / 1100e9, 24.0 / 210e9)
+    assert rate == pytest.approx(1.0 / per_iter)
+
+
+def test_throughput_of_free_loop_is_infinite():
+    d = gpu()
+    assert d.throughput_iters_per_s(0.0, 0.0) == float("inf")

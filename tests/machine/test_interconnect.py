@@ -1,0 +1,60 @@
+"""Hockney-model links."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.interconnect import Link, SHARED_LINK
+
+
+def test_transfer_time_is_alpha_plus_size_over_beta():
+    link = Link(latency_s=10e-6, bandwidth_gbs=10.0)
+    assert link.transfer_time(10e9) == pytest.approx(10e-6 + 1.0)
+
+
+def test_zero_bytes_is_free():
+    link = Link(latency_s=10e-6, bandwidth_gbs=10.0)
+    assert link.transfer_time(0) == 0.0
+
+
+def test_shared_link_is_free():
+    assert SHARED_LINK.is_shared
+    assert SHARED_LINK.transfer_time(1e12) == 0.0
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        Link(0.0, 1.0).transfer_time(-1)
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        Link(-1e-6, 1.0)
+
+
+def test_nonpositive_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        Link(0.0, 0.0)
+
+
+def test_effective_bandwidth_approaches_beta_for_large_messages():
+    link = Link(latency_s=10e-6, bandwidth_gbs=10.0)
+    eff_small = link.effective_bandwidth(1024)
+    eff_large = link.effective_bandwidth(1e9)
+    assert eff_small < eff_large
+    assert eff_large == pytest.approx(10e9, rel=0.01)
+
+
+def test_effective_bandwidth_of_shared_link_is_infinite():
+    assert SHARED_LINK.effective_bandwidth(100) == float("inf")
+
+
+@given(
+    alpha=st.floats(0, 1e-3, allow_nan=False),
+    beta=st.floats(0.1, 100, allow_nan=False),
+    a=st.floats(0, 1e9, allow_nan=False),
+    b=st.floats(0, 1e9, allow_nan=False),
+)
+def test_property_monotone_in_size(alpha, beta, a, b):
+    link = Link(alpha, beta)
+    lo, hi = sorted([a, b])
+    assert link.transfer_time(lo) <= link.transfer_time(hi)

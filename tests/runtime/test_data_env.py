@@ -1,0 +1,109 @@
+"""Target-data regions: residency, mapping costs, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OffloadError
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import cpu_mic_node, gpu4_node, homogeneous_node, cpu_spec
+from repro.memory.space import MapDirection
+from repro.runtime.data_env import TargetDataRegion
+from repro.runtime.runtime import HompRuntime
+
+
+def region_for(rt, kernel, directions=None):
+    directions = directions or {}
+    maps = {
+        name: (arr, directions.get(name, MapDirection.TOFROM))
+        for name, arr in kernel.arrays.items()
+    }
+    return TargetDataRegion(
+        runtime=rt, maps=maps, partitioned=frozenset(maps)
+    )
+
+
+def test_offload_inside_region_pays_no_per_chunk_transfer():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    with region_for(rt, k) as region:
+        result = region.parallel_for(k, schedule="BLOCK")
+    for t in result.participating:
+        assert t.xfer_in_s == 0.0
+        assert t.xfer_out_s == 0.0
+    assert np.allclose(k.arrays["y"], k.reference()["y"])
+
+
+def test_region_charges_map_in_and_out():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    with region_for(rt, k) as region:
+        pass
+    assert region.map_in_s > 0.0   # x and y staged in
+    assert region.map_out_s > 0.0  # y copied back
+
+
+def test_alloc_maps_move_nothing():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 10_000)
+    region = TargetDataRegion(
+        runtime=rt,
+        maps={"x": (k.arrays["x"], MapDirection.ALLOC)},
+        partitioned=frozenset({"x"}),
+    )
+    with region:
+        pass
+    assert region.map_in_s == 0.0
+    assert region.map_out_s == 0.0
+
+
+def test_host_only_region_is_free():
+    rt = HompRuntime(homogeneous_node(2, cpu_spec()))
+    k = make_kernel("axpy", 10_000)
+    with region_for(rt, k) as region:
+        pass
+    assert region.total_time_s == 0.0
+
+
+def test_offload_outside_region_rejected():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 1000)
+    region = region_for(rt, k)
+    with pytest.raises(OffloadError):
+        region.parallel_for(k, schedule="BLOCK")
+
+
+def test_residency_restored_after_region_offload():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 1000)
+    with region_for(rt, k) as region:
+        region.parallel_for(k, schedule="BLOCK")
+    assert k.resident == frozenset()
+
+
+def test_total_time_accumulates_offloads():
+    rt = HompRuntime(cpu_mic_node())
+    k1 = make_kernel("axpy", 50_000)
+    with region_for(rt, k1) as region:
+        r1 = region.parallel_for(k1, schedule="BLOCK")
+        k2 = make_kernel("axpy", 50_000)
+        # second kernel's arrays are NOT in the region: normal transfers
+        r2 = region.parallel_for(k2, schedule="BLOCK")
+    assert region.offload_s == pytest.approx(r1.total_time_s + r2.total_time_s)
+    assert region.total_time_s >= region.offload_s
+
+
+def test_partitioned_arrays_stage_one_share_per_device():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    r_part = region_for(rt, k)
+    with r_part:
+        pass
+    maps = {
+        name: (arr, MapDirection.TOFROM) for name, arr in k.arrays.items()
+    }
+    r_full = TargetDataRegion(runtime=rt, maps=maps, partitioned=frozenset())
+    with r_full:
+        pass
+    # replicating whole arrays to each device costs ~4x a block share
+    # (slightly less once per-message latency is included)
+    assert r_full.map_in_s > 2.5 * r_part.map_in_s

@@ -1,0 +1,72 @@
+"""Halo-exchange planning and cost."""
+
+import pytest
+
+from repro.dist.distribution import DimDistribution
+from repro.dist.policy import Block
+from repro.errors import DistributionError
+from repro.machine.presets import cpu_mic_node, gpu4_node, homogeneous_node, cpu_spec
+from repro.runtime.halo import plan_halo_exchange
+from repro.util.ranges import IterRange
+
+
+def dist(n, ndev):
+    return DimDistribution.from_policy(Block(), IterRange(0, n), ndev)
+
+
+def test_adjacent_pairs_exchange_both_ways():
+    ex = plan_halo_exchange(gpu4_node(), dist(100, 4), width=1, row_bytes=800)
+    # 3 adjacent pairs x 2 directions
+    assert len(ex.transfers) == 6
+    assert ex.total_bytes == 6 * 800
+
+
+def test_zero_width_is_free():
+    ex = plan_halo_exchange(gpu4_node(), dist(100, 4), width=0, row_bytes=800)
+    assert ex.transfers == ()
+    assert ex.time_s == 0.0
+
+
+def test_host_only_exchange_is_free():
+    m = homogeneous_node(3, cpu_spec())
+    ex = plan_halo_exchange(m, dist(90, 3), width=2, row_bytes=1000)
+    assert ex.time_s == 0.0
+    assert ex.total_bytes > 0  # bytes logically move, but links are shared
+
+
+def test_cost_counts_both_link_crossings():
+    m = gpu4_node(2)
+    ex = plan_halo_exchange(m, dist(100, 2), width=1, row_bytes=10_000)
+    link = m[0].link
+    # each device sends once and receives once over its own link
+    assert ex.time_s == pytest.approx(2 * link.transfer_time(10_000))
+
+
+def test_mixed_node_cost_dominated_by_slowest_device():
+    m = cpu_mic_node()
+    ex = plan_halo_exchange(m, dist(100, 4), width=1, row_bytes=100_000)
+    mic_link = m[2].link
+    # mic-0 sits between cpu-1 and mic-1: two sends + two receives
+    assert ex.time_s == pytest.approx(4 * mic_link.transfer_time(100_000))
+
+
+def test_empty_owners_skipped():
+    # 2 iterations over 4 devices: only devices 0 and 1 own rows
+    ex = plan_halo_exchange(gpu4_node(), dist(2, 4), width=1, row_bytes=100)
+    assert len(ex.transfers) == 2
+    assert {(t.src, t.dst) for t in ex.transfers} == {(0, 1), (1, 0)}
+
+
+def test_single_owner_no_exchange():
+    ex = plan_halo_exchange(gpu4_node(1), dist(10, 1), width=3, row_bytes=100)
+    assert ex.transfers == ()
+
+
+def test_negative_width_rejected():
+    with pytest.raises(DistributionError):
+        plan_halo_exchange(gpu4_node(), dist(100, 4), width=-1, row_bytes=8)
+
+
+def test_device_count_mismatch_rejected():
+    with pytest.raises(DistributionError):
+        plan_halo_exchange(gpu4_node(), dist(100, 3), width=1, row_bytes=8)

@@ -1,0 +1,173 @@
+"""HompRuntime: device selection, schedule resolution, cutoff handling,
+and the directive front-end."""
+
+import numpy as np
+import pytest
+
+from repro.dist.policy import Align, Auto, Block
+from repro.errors import DeviceError, SchedulingError
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import full_node, gpu4_node
+from repro.runtime.runtime import HompRuntime
+from repro.sched.dynamic import DynamicScheduler
+
+
+@pytest.fixture
+def rt():
+    return HompRuntime(full_node())
+
+
+class TestDeviceSelection:
+    def test_none_selects_all(self, rt):
+        assert rt.select_devices(None) == list(range(8))
+
+    def test_star_selects_all(self, rt):
+        assert rt.select_devices("*") == list(range(8))
+
+    def test_clause_string(self, rt):
+        assert rt.select_devices("device(0:*:NVGPU)") == [2, 3, 4, 5]
+
+    def test_id_list(self, rt):
+        assert rt.select_devices([1, 3]) == [1, 3]
+
+    def test_bad_id(self, rt):
+        with pytest.raises(DeviceError):
+            rt.select_devices([42])
+
+    def test_empty_list(self, rt):
+        with pytest.raises(DeviceError):
+            rt.select_devices([])
+
+    def test_effective_device_count_collapses_hosts(self, rt):
+        # the paper's "considering 2 CPUs as one host device": 1 + 6 = 7
+        assert rt.effective_device_count() == 7
+        assert rt.effective_device_count([2, 3]) == 2
+        assert rt.effective_device_count([0, 1]) == 1
+
+
+class TestScheduleResolution:
+    def test_notation_string(self, rt):
+        r = rt.parallel_for(make_kernel("axpy", 1000), schedule="BLOCK")
+        assert r.algorithm == "BLOCK"
+
+    def test_auto_uses_selector(self, rt):
+        r = rt.parallel_for(make_kernel("axpy", 1000), schedule="AUTO")
+        assert r.algorithm.startswith("MODEL_2_AUTO")
+
+    def test_auto_policy_object(self, rt):
+        r = rt.parallel_for(make_kernel("matvec", 64), schedule=Auto())
+        assert r.algorithm.startswith("SCHED_DYNAMIC")
+
+    def test_align_policy_object(self, rt):
+        k = make_kernel("axpy", 800)
+        k.set_partition("x", Block())
+        r = rt.parallel_for(k, schedule=Align("x"))
+        assert r.algorithm == "ALIGN(x)"
+        assert np.allclose(k.arrays["y"], k.reference()["y"])
+
+    def test_scheduler_instance(self, rt):
+        r = rt.parallel_for(
+            make_kernel("axpy", 1000), schedule=DynamicScheduler(0.5)
+        )
+        assert r.algorithm == "SCHED_DYNAMIC,50%"
+
+    def test_kwargs_forwarded(self, rt):
+        r = rt.parallel_for(
+            make_kernel("axpy", 1000), schedule="SCHED_DYNAMIC", chunk_pct=0.25
+        )
+        assert r.algorithm == "SCHED_DYNAMIC,25%"
+
+    def test_bad_schedule(self, rt):
+        with pytest.raises(SchedulingError):
+            rt.parallel_for(make_kernel("axpy", 100), schedule=3.14)
+
+    def test_block_policy_object_rejected_as_schedule(self, rt):
+        with pytest.raises(SchedulingError):
+            rt.parallel_for(make_kernel("axpy", 100), schedule=Block())
+
+
+class TestCutoff:
+    def test_auto_ratio_uses_effective_count(self, rt):
+        r = rt.parallel_for(
+            make_kernel("matmul", 256), schedule="MODEL_1_AUTO", cutoff_ratio="auto"
+        )
+        assert r.algorithm.endswith("14%")  # 1/7
+
+    def test_cutoff_silently_ignored_for_chunk_algorithms(self, rt):
+        # Table II: cutoff applies only to model/profile algorithms
+        r = rt.parallel_for(
+            make_kernel("axpy", 1000), schedule="BLOCK", cutoff_ratio=0.5
+        )
+        assert r.devices_used == 8
+
+    def test_cutoff_drops_devices(self, rt):
+        r = rt.parallel_for(
+            make_kernel("matmul", 512), schedule="MODEL_1_AUTO", cutoff_ratio=0.15
+        )
+        names = {t.name for t in r.participating}
+        # the slow hosts fall below the bar; every GPU stays
+        assert not any(n.startswith("cpu") for n in names)
+        assert {"k40-0", "k40-1", "k40-2", "k40-3"} <= names
+
+
+class TestDeviceSubsets:
+    def test_gpus_only(self, rt):
+        k = make_kernel("axpy", 1000)
+        r = rt.parallel_for(k, schedule="BLOCK", devices="device(0:*:NVGPU)")
+        assert r.devices_used == 4
+        assert {t.name for t in r.participating} == {"k40-0", "k40-1", "k40-2", "k40-3"}
+        assert np.allclose(k.arrays["y"], k.reference()["y"])
+
+    def test_result_meta_records_ids(self, rt):
+        r = rt.parallel_for(make_kernel("axpy", 100), schedule="BLOCK", devices=[0, 2])
+        assert r.meta["device_ids"] == [0, 2]
+
+
+class TestDirectiveFrontEnd:
+    def test_v2_style_offload(self, rt):
+        k = make_kernel("axpy", 2000)
+        directive = (
+            "omp parallel target device(*) "
+            "map(tofrom: y[0:n] partition([ALIGN(loop)])) "
+            "map(to: x[0:n] partition([ALIGN(loop)]), a, n) "
+            "distribute dist_schedule(target:[AUTO])"
+        )
+        r = rt.offload(directive, k)
+        assert np.allclose(k.arrays["y"], k.reference()["y"])
+        assert r.devices_used >= 1
+
+    def test_v1_style_offload_with_block_partitions(self, rt):
+        k = make_kernel("axpy", 2000)
+        directive = (
+            "omp parallel target device(0:4) "
+            "map(tofrom: y[0:n] partition([BLOCK])) "
+            "map(to: x[0:n] partition([BLOCK]), a, n) "
+            "distribute dist_schedule(target:[ALIGN(x)])"
+        )
+        r = rt.offload(directive, k)
+        assert r.algorithm == "ALIGN(x)"
+        assert r.devices_used == 4
+        assert np.allclose(k.arrays["y"], k.reference()["y"])
+
+    def test_device_clause_respected(self, rt):
+        k = make_kernel("axpy", 1000)
+        r = rt.offload("omp parallel target device(2:2)", k, schedule="BLOCK")
+        assert {t.name for t in r.participating} == {"k40-0", "k40-1"}
+
+    def test_directive_without_schedule_uses_selector(self, rt):
+        k = make_kernel("matmul", 64)
+        r = rt.offload("omp parallel target device(2:4)", k)
+        assert r.algorithm == "BLOCK"  # identical GPUs + compute-intensive
+
+
+class TestRuntimeConstruction:
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        gpu4_node().to_file(path)
+        rt = HompRuntime.from_file(path)
+        assert rt.num_devices == 4
+
+    def test_resident_restored_after_run(self, rt):
+        k = make_kernel("axpy", 500)
+        rt.parallel_for(k, schedule="BLOCK", resident={"x"})
+        assert k.resident == frozenset()

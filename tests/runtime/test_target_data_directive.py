@@ -1,0 +1,77 @@
+"""The Fig. 3 target-data directive front-end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, SchedulingError
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import gpu4_node
+from repro.runtime.runtime import HompRuntime
+
+FIG3_DATA = """#pragma omp parallel target data device(*) \\
+  map(to:n, m, omega, ax, ay, b, \\
+    f[0:n][0:m] partition([ALIGN(loop1)], FULL)) \\
+  map(tofrom:u[0:n][0:m] partition([ALIGN(loop1)], FULL)) \\
+  map(alloc:uold[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))"""
+
+
+@pytest.fixture
+def rt():
+    return HompRuntime(gpu4_node())
+
+
+def arrays(n=32):
+    rng = np.random.default_rng(0)
+    return {
+        "f": rng.standard_normal((n, n)),
+        "u": np.zeros((n, n)),
+        "uold": np.zeros((n, n)),
+    }
+
+
+def test_region_built_from_directive(rt):
+    region = rt.target_data(FIG3_DATA, arrays())
+    assert set(region.maps) == {"f", "u", "uold"}
+    assert region.partitioned == frozenset({"f", "u", "uold"})
+    with region:
+        # u is tofrom, f is to, uold is alloc: in-cost covers u+f only
+        assert region.map_in_s > 0
+        assert region.map_out_s > 0  # u comes back
+
+
+def test_scalars_in_map_clause_ignored(rt):
+    region = rt.target_data(FIG3_DATA, arrays())
+    assert "omega" not in region.maps
+
+
+def test_offload_inside_directive_region_is_resident(rt):
+    a = arrays(64)
+    from repro.apps.jacobi import JacobiCopyKernel
+
+    region = rt.target_data(FIG3_DATA, a)
+    with region:
+        k = JacobiCopyKernel(a["u"], a["uold"])
+        result = region.parallel_for(k, schedule="BLOCK")
+    for t in result.participating:
+        assert t.xfer_in_s == 0.0 and t.xfer_out_s == 0.0
+    assert np.array_equal(a["uold"], a["u"])
+
+
+def test_non_data_directive_rejected(rt):
+    with pytest.raises(SchedulingError):
+        rt.target_data("omp parallel target device(*)", arrays())
+
+
+def test_unknown_array_rejected(rt):
+    with pytest.raises(DeviceError):
+        rt.target_data(FIG3_DATA, {"f": np.zeros((4, 4))})
+
+
+def test_device_clause_restricts_region(rt):
+    directive = (
+        "omp target data device(0:2) map(tofrom: u[0:n][0:m] "
+        "partition([BLOCK], FULL))"
+    )
+    region = rt.target_data(directive, {"u": np.zeros((16, 16))})
+    with region:
+        assert region._ids == [0, 1]

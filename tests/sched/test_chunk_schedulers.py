@@ -1,0 +1,165 @@
+"""BLOCK, SCHED_DYNAMIC, SCHED_GUIDED: chunk streams and invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.kernels.registry import make_kernel
+from repro.machine.device import Device
+from repro.machine.presets import gpu4_node, homogeneous_node
+from repro.sched.base import SchedContext
+from repro.sched.block import BlockScheduler
+from repro.sched.dynamic import DynamicScheduler
+from repro.sched.guided import GuidedScheduler
+from repro.util.ranges import IterRange
+
+
+def ctx_for(n=100, ndev=4, kernel_name="axpy"):
+    machine = homogeneous_node(ndev)
+    kernel = make_kernel(kernel_name, n)
+    devices = [Device(i, s) for i, s in enumerate(machine.devices)]
+    return SchedContext(kernel=kernel, devices=devices)
+
+
+def drain_round_robin(sched, ndev):
+    """Collect all chunks by cycling devices (chunk schedulers never barrier)."""
+    out = {d: [] for d in range(ndev)}
+    active = set(range(ndev))
+    while active:
+        for d in list(active):
+            decision = sched.next(d)
+            if decision is None:
+                active.discard(d)
+            else:
+                out[d].append(decision)
+    return out
+
+
+class TestBlock:
+    def test_one_even_chunk_per_device(self):
+        s = BlockScheduler()
+        s.start(ctx_for(100, 4))
+        chunks = drain_round_robin(s, 4)
+        assert all(len(c) == 1 for c in chunks.values())
+        assert [len(c[0]) for c in chunks.values()] == [25, 25, 25, 25]
+
+    def test_remainder_distribution(self):
+        s = BlockScheduler()
+        s.start(ctx_for(10, 4))
+        chunks = drain_round_robin(s, 4)
+        assert [len(c[0]) for c in chunks.values()] == [3, 3, 2, 2]
+
+    def test_device_asked_twice_gets_none(self):
+        s = BlockScheduler()
+        s.start(ctx_for(100, 4))
+        assert s.next(0) is not None
+        assert s.next(0) is None
+
+    def test_more_devices_than_iterations(self):
+        s = BlockScheduler()
+        s.start(ctx_for(2, 4))
+        chunks = drain_round_robin(s, 4)
+        sizes = sorted(len(c[0]) if c else 0 for c in chunks.values())
+        assert sizes == [0, 0, 1, 1]
+
+    def test_restart_resets_state(self):
+        s = BlockScheduler()
+        s.start(ctx_for(100, 4))
+        s.next(0)
+        s.start(ctx_for(100, 4))
+        assert s.next(0) is not None
+
+
+class TestDynamic:
+    def test_chunk_size_is_pct_of_space(self):
+        s = DynamicScheduler(chunk_pct=0.02)
+        s.start(ctx_for(1000, 4))
+        chunk = s.next(0)
+        assert len(chunk) == 20
+
+    def test_chunks_are_sequential_regardless_of_device(self):
+        s = DynamicScheduler(chunk_pct=0.1)
+        s.start(ctx_for(100, 4))
+        c0 = s.next(3)
+        c1 = s.next(1)
+        assert c0 == IterRange(0, 10)
+        assert c1 == IterRange(10, 20)
+
+    def test_last_chunk_short(self):
+        s = DynamicScheduler(chunk_pct=0.3)
+        s.start(ctx_for(100, 2))
+        sizes = []
+        while (c := s.next(0)) is not None:
+            sizes.append(len(c))
+        assert sizes == [30, 30, 30, 10]
+
+    def test_chunk_pct_validation(self):
+        with pytest.raises(SchedulingError):
+            DynamicScheduler(chunk_pct=0.0)
+        with pytest.raises(SchedulingError):
+            DynamicScheduler(chunk_pct=1.5)
+
+    def test_describe_matches_paper_notation(self):
+        assert DynamicScheduler(0.02).describe() == "SCHED_DYNAMIC,2%"
+
+    def test_tiny_space_one_iteration_chunks(self):
+        s = DynamicScheduler(chunk_pct=0.001)
+        s.start(ctx_for(50, 2))
+        assert len(s.next(0)) == 1
+
+    @given(n=st.integers(1, 2000), pct=st.floats(0.001, 1.0), ndev=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_coverage(self, n, pct, ndev):
+        s = DynamicScheduler(chunk_pct=pct)
+        s.start(ctx_for(n, ndev))
+        covered = 0
+        prev_stop = 0
+        while (c := s.next(covered % ndev)) is not None:
+            assert c.start == prev_stop
+            prev_stop = c.stop
+            covered += len(c)
+        assert covered == n
+
+
+class TestGuided:
+    def test_decreasing_chunk_sizes(self):
+        s = GuidedScheduler(first_pct=0.2, min_chunk=1)
+        s.start(ctx_for(1000, 4))
+        sizes = []
+        while (c := s.next(0)) is not None:
+            sizes.append(len(c))
+        assert sizes[0] == 200
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sum(sizes) == 1000
+
+    def test_min_chunk_floor(self):
+        s = GuidedScheduler(first_pct=0.5, min_chunk=10)
+        s.start(ctx_for(100, 2))
+        sizes = []
+        while (c := s.next(0)) is not None:
+            sizes.append(len(c))
+        assert all(sz >= 10 or sz == sizes[-1] for sz in sizes)
+
+    def test_default_min_chunk_positive(self):
+        s = GuidedScheduler()
+        s.start(ctx_for(10, 4))
+        assert s._min_chunk >= 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchedulingError):
+            GuidedScheduler(first_pct=0.0)
+        with pytest.raises(SchedulingError):
+            GuidedScheduler(min_chunk=0)
+
+    def test_describe(self):
+        assert GuidedScheduler(0.2).describe() == "SCHED_GUIDED,20%"
+
+    @given(n=st.integers(1, 3000), pct=st.floats(0.01, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_coverage(self, n, pct):
+        s = GuidedScheduler(first_pct=pct)
+        s.start(ctx_for(n, 3))
+        covered = 0
+        while (c := s.next(0)) is not None:
+            covered += len(c)
+        assert covered == n

@@ -1,0 +1,106 @@
+"""CUTOFF device-selection heuristic (paper §IV.E)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.sched.cutoff import apply_cutoff, default_cutoff_ratio
+
+
+def renormalise(base_shares):
+    def resolve(survivors):
+        return [base_shares[i] for i in survivors]
+    return resolve
+
+
+def test_default_ratio_is_one_over_ndev():
+    assert default_cutoff_ratio(7) == pytest.approx(1 / 7)  # the paper's 15%
+    with pytest.raises(SchedulingError):
+        default_cutoff_ratio(0)
+
+
+def test_no_cutoff_keeps_all():
+    shares = [1.0, 2.0, 3.0]
+    out = apply_cutoff(shares, 0.0, renormalise(shares))
+    assert out == shares
+
+
+def test_weak_device_dropped():
+    shares = [10.0, 10.0, 1.0]
+    out = apply_cutoff(shares, 0.15, renormalise(shares))
+    assert out[2] == 0.0
+    assert out[0] > 0 and out[1] > 0
+
+
+def test_survivors_reresolved():
+    shares = [10.0, 10.0, 1.0]
+    calls = []
+
+    def resolve(survivors):
+        calls.append(tuple(survivors))
+        return [20.0 for _ in survivors]  # re-solve grows the shares
+
+    out = apply_cutoff(shares, 0.15, resolve)
+    assert calls == [(0, 1)]
+    assert out == [20.0, 20.0, 0.0]
+
+
+def test_weakest_dropped_first_iteratively():
+    # 8 identical devices with 12.5% each and a 15% cutoff: devices are
+    # dropped one at a time until the rest clear the bar
+    shares = [1.0] * 8
+    out = apply_cutoff(shares, 0.15, renormalise(shares))
+    survivors = sum(1 for s in out if s > 0)
+    assert survivors == 6  # 1/6 = 16.7% >= 15%
+
+
+def test_never_drops_the_last_device():
+    shares = [1.0]
+    out = apply_cutoff(shares, 0.9, renormalise(shares))
+    assert out == [1.0]
+
+
+def test_two_dominated_by_one():
+    shares = [100.0, 1.0]
+    out = apply_cutoff(shares, 0.15, renormalise(shares))
+    assert out[1] == 0.0
+
+
+def test_invalid_ratio():
+    with pytest.raises(SchedulingError):
+        apply_cutoff([1.0], 1.0, renormalise([1.0]))
+    with pytest.raises(SchedulingError):
+        apply_cutoff([1.0], -0.1, renormalise([1.0]))
+
+
+def test_empty_shares_rejected():
+    with pytest.raises(SchedulingError):
+        apply_cutoff([], 0.1, lambda s: [])
+
+
+def test_all_zero_shares_rejected():
+    with pytest.raises(SchedulingError):
+        apply_cutoff([0.0, 0.0], 0.1, lambda s: [])
+
+
+def test_resolve_length_mismatch_rejected():
+    with pytest.raises(SchedulingError):
+        apply_cutoff([10.0, 1.0], 0.2, lambda s: [1.0, 2.0, 3.0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shares=st.lists(st.floats(0.01, 100, allow_nan=False), min_size=1, max_size=10),
+    ratio=st.floats(0.0, 0.8),
+)
+def test_property_survivors_clear_the_bar(shares, ratio):
+    out = apply_cutoff(shares, ratio, renormalise(shares))
+    alive = [s for s in out if s > 0]
+    assert alive  # never empty
+    total = sum(alive)
+    if len(alive) > 1:
+        assert all(s / total >= ratio - 1e-12 for s in alive)
+    # survivors keep their original relative shares (renormalise resolver)
+    for i, s in enumerate(out):
+        if s > 0:
+            assert s == shares[i]

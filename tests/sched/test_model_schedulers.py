@@ -1,0 +1,131 @@
+"""MODEL_1_AUTO and MODEL_2_AUTO: capability- and cost-proportional splits."""
+
+import pytest
+
+from repro.kernels.registry import make_kernel
+from repro.machine.device import Device
+from repro.machine.presets import (
+    cpu_mic_node,
+    cpu_spec,
+    full_node,
+    homogeneous_node,
+    k40_spec,
+    mic_spec,
+)
+from repro.machine.spec import MachineSpec
+from repro.sched.base import SchedContext
+from repro.sched.model1 import Model1Scheduler
+from repro.sched.model2 import Model2Scheduler
+
+
+def ctx(machine, kernel, cutoff=0.0):
+    devices = [Device(i, s) for i, s in enumerate(machine.devices)]
+    return SchedContext(kernel=kernel, devices=devices, cutoff_ratio=cutoff)
+
+
+def drain(sched, ndev):
+    chunks = {}
+    for d in range(ndev):
+        c = sched.next(d)
+        chunks[d] = c
+        assert sched.next(d) is None
+    return chunks
+
+
+def test_model1_even_on_identical_devices():
+    m = homogeneous_node(4)
+    s = Model1Scheduler()
+    s.start(ctx(m, make_kernel("matmul", 64)))
+    chunks = drain(s, 4)
+    assert [len(c) for c in chunks.values()] == [16, 16, 16, 16]
+
+
+def test_model1_shares_follow_modeled_performance():
+    # cpu+gpu: matmul is flops-bound; modeled rates 350 vs 1100
+    m = MachineSpec("t", (cpu_spec("c"), k40_spec("g")))
+    s = Model1Scheduler()
+    s.start(ctx(m, make_kernel("matmul", 290)))
+    chunks = drain(s, 2)
+    ratio = len(chunks[1]) / len(chunks[0])
+    assert ratio == pytest.approx(1100 / 350, rel=0.05)
+
+
+def test_model1_uses_overpredicted_mic_rate():
+    # The model believes the MIC sustains 850, not 250.
+    m = MachineSpec("t", (cpu_spec("c"), mic_spec("m")))
+    s = Model1Scheduler()
+    s.start(ctx(m, make_kernel("matmul", 240)))
+    chunks = drain(s, 2)
+    ratio = len(chunks[1]) / len(chunks[0])
+    assert ratio == pytest.approx(850 / 350, rel=0.1)
+
+
+def test_model1_ignores_transfer_costs():
+    # axpy is bandwidth-bound; MODEL_1 still assigns work purely by the
+    # modeled compute rates, which is exactly its weakness
+    m = MachineSpec("t", (cpu_spec("c"), k40_spec("g")))
+    s = Model1Scheduler()
+    s.start(ctx(m, make_kernel("axpy", 10_000)))
+    chunks = drain(s, 2)
+    # mem-bound: rates follow memory bandwidth 60 vs 210
+    assert len(chunks[1]) > len(chunks[0])
+
+
+def test_model2_shifts_work_to_host_for_data_intensive():
+    m = MachineSpec("t", (cpu_spec("c"), k40_spec("g")))
+    k = make_kernel("axpy", 100_000)
+    s1 = Model1Scheduler()
+    s1.start(ctx(m, k))
+    m1_chunks = drain(s1, 2)
+    s2 = Model2Scheduler()
+    s2.start(ctx(m, make_kernel("axpy", 100_000)))
+    m2_chunks = drain(s2, 2)
+    # MODEL_2 prices the PCIe transfer, so the host share grows
+    assert len(m2_chunks[0]) > len(m1_chunks[0])
+
+
+def test_model2_equalises_completion_including_fixed_costs():
+    m = cpu_mic_node()
+    k = make_kernel("matmul", 256)
+    s = Model2Scheduler()
+    c = ctx(m, k)
+    s.start(c)
+    chunks = drain(s, 4)
+    times = []
+    for d, chunk in chunks.items():
+        if chunk is None:
+            continue
+        t = c.fixed_cost_s(d) + len(chunk) * c.per_iter_total_s(d)
+        times.append(t)
+    assert max(times) / min(times) < 1.1  # near-equal by construction
+
+
+def test_model_chunks_cover_space_exactly():
+    for scheduler in (Model1Scheduler(), Model2Scheduler()):
+        m = full_node()
+        k = make_kernel("matvec", 333)
+        scheduler.start(ctx(m, k))
+        total = 0
+        for d in range(len(m)):
+            c = scheduler.next(d)
+            if c is not None:
+                total += len(c)
+        assert total == 333
+
+
+def test_model_cutoff_drops_weak_devices():
+    m = full_node()
+    k = make_kernel("matmul", 512)
+    s = Model1Scheduler()
+    s.start(ctx(m, k, cutoff=0.15))
+    chunks = {d: s.next(d) for d in range(8)}
+    # modeled rates: gpu 1100 (share ~.186) vs cpu 350 (.059) and mic 850
+    # (.144): CPUs and MICs fall below 15% and are dropped
+    assert all(chunks[d] is None for d in (0, 1))
+    assert all(chunks[d] is not None for d in (2, 3, 4, 5))
+
+
+def test_describe_contains_cutoff():
+    s = Model2Scheduler()
+    s.start(ctx(homogeneous_node(2), make_kernel("axpy", 100), cutoff=0.15))
+    assert s.describe() == "MODEL_2_AUTO,-1,15%"

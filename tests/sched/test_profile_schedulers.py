@@ -1,0 +1,159 @@
+"""Two-stage sample-profiling schedulers through the engine's barrier
+protocol (driven manually here; end-to-end in tests/engine)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.kernels.registry import make_kernel
+from repro.machine.device import Device
+from repro.machine.presets import homogeneous_node
+from repro.sched.base import BARRIER, SchedContext
+from repro.sched.profile_const import ProfileScheduler
+from repro.sched.profile_model import ModelProfileScheduler
+
+
+def ctx_for(n=1000, ndev=4, cutoff=0.0):
+    machine = homogeneous_node(ndev)
+    devices = [Device(i, s) for i, s in enumerate(machine.devices)]
+    return SchedContext(
+        kernel=make_kernel("axpy", n), devices=devices, cutoff_ratio=cutoff
+    )
+
+
+def run_two_stage(sched, ndev, throughputs):
+    """Drive the protocol: stage-1 chunks, observe, barrier, stage-2."""
+    stage1 = {}
+    for d in range(ndev):
+        c = sched.next(d)
+        stage1[d] = c
+        if c is not BARRIER and c is not None:
+            sched.observe(d, c, len(c) / throughputs[d])
+    # every device now hits the barrier
+    for d in range(ndev):
+        if stage1[d] is not BARRIER:
+            assert sched.next(d) is BARRIER
+    sched.at_barrier()
+    stage2 = {d: sched.next(d) for d in range(ndev)}
+    for d in range(ndev):
+        assert sched.next(d) is None
+    return stage1, stage2
+
+
+class TestProfileConst:
+    def test_equal_stage1_samples(self):
+        s = ProfileScheduler(sample_pct=0.10)
+        s.start(ctx_for(1000, 4))
+        stage1, _ = run_two_stage(s, 4, [1.0] * 4)
+        assert all(len(c) == 100 for c in stage1.values())
+
+    def test_stage2_proportional_to_measured_throughput(self):
+        s = ProfileScheduler(sample_pct=0.10)
+        s.start(ctx_for(1000, 2))
+        # device 1 measured 3x faster
+        _, stage2 = run_two_stage(s, 2, [1.0, 3.0])
+        assert len(stage2[1]) == pytest.approx(3 * len(stage2[0]), abs=2)
+
+    def test_full_coverage(self):
+        s = ProfileScheduler(sample_pct=0.10)
+        s.start(ctx_for(997, 3))
+        stage1, stage2 = run_two_stage(s, 3, [1.0, 2.0, 4.0])
+        total = sum(len(c) for c in stage1.values()) + sum(
+            len(c) for c in stage2.values() if c is not None
+        )
+        assert total == 997
+
+    def test_samples_capped_to_half_the_loop(self):
+        s = ProfileScheduler(sample_pct=0.40)
+        s.start(ctx_for(100, 4))  # 40/device x4 = 160 > 100
+        stage1, _ = run_two_stage(s, 4, [1.0] * 4)
+        assert sum(len(c) for c in stage1.values()) <= 50
+
+    def test_sample_pct_validation(self):
+        with pytest.raises(SchedulingError):
+            ProfileScheduler(sample_pct=0.0)
+        with pytest.raises(SchedulingError):
+            ProfileScheduler(sample_pct=1.0)
+
+    def test_cutoff_applies_to_measured_shares(self):
+        s = ProfileScheduler(sample_pct=0.05)
+        s.start(ctx_for(1000, 3, cutoff=0.25))
+        # device 2 measures far below the 25% cutoff
+        _, stage2 = run_two_stage(s, 3, [10.0, 10.0, 1.0])
+        assert stage2[2] is None
+        assert stage2[0] is not None and stage2[1] is not None
+
+    def test_degenerate_zero_elapsed_measurement(self):
+        s = ProfileScheduler(sample_pct=0.10)
+        s.start(ctx_for(100, 2))
+        c = s.next(0)
+        s.observe(0, c, 0.0)  # must not divide by zero
+        c1 = s.next(1)
+        s.observe(1, c1, 1.0)
+        assert s.next(0) is BARRIER
+        assert s.next(1) is BARRIER
+        s.at_barrier()
+        assert s.next(0) is not None
+
+    def test_describe(self):
+        s = ProfileScheduler(sample_pct=0.10)
+        s.start(ctx_for(100, 2, cutoff=0.15))
+        assert s.describe() == "SCHED_PROFILE_AUTO,10%,15%"
+
+
+class TestModelProfile:
+    def test_stage1_sized_by_model(self):
+        from repro.machine.presets import cpu_spec, k40_spec
+        from repro.machine.spec import MachineSpec
+
+        machine = MachineSpec("t", (cpu_spec("c"), k40_spec("g")))
+        devices = [Device(i, s) for i, s in enumerate(machine.devices)]
+        # axpy: the model predicts the transfer-free host far faster than
+        # the PCIe-bound GPU, so the host profiles on the bigger sample
+        c = SchedContext(kernel=make_kernel("axpy", 1_000_000), devices=devices)
+        s = ModelProfileScheduler(sample_pct=0.20)
+        s.start(c)
+        c0, c1 = s.next(0), s.next(1)
+        assert len(c0) + len(c1) == pytest.approx(200_000, abs=2)
+        assert len(c0) > len(c1)
+
+    def test_stage1_model_can_exclude_a_hopeless_device(self):
+        from repro.machine.presets import cpu_spec, k40_spec
+        from repro.machine.spec import MachineSpec
+
+        machine = MachineSpec("t", (cpu_spec("c"), k40_spec("g")))
+        devices = [Device(i, s) for i, s in enumerate(machine.devices)]
+        # a tiny matmul sample: the GPU's fixed costs (B broadcast, launch)
+        # exceed the sample's whole T0, so the model profiles host-only and
+        # the GPU goes straight to the barrier
+        c = SchedContext(kernel=make_kernel("matmul", 200), devices=devices)
+        s = ModelProfileScheduler(sample_pct=0.20)
+        s.start(c)
+        c0 = s.next(0)
+        assert c0 is not None and c0 is not BARRIER
+        assert s.next(1) is BARRIER
+
+    def test_stage2_uses_measured_not_modeled(self):
+        s = ModelProfileScheduler(sample_pct=0.10)
+        s.start(ctx_for(1000, 2))
+        stage1 = {d: s.next(d) for d in range(2)}
+        # model says identical; measurements say device 0 is 5x faster
+        s.observe(0, stage1[0], len(stage1[0]) / 5.0)
+        s.observe(1, stage1[1], len(stage1[1]) / 1.0)
+        assert s.next(0) is BARRIER and s.next(1) is BARRIER
+        s.at_barrier()
+        c0, c1 = s.next(0), s.next(1)
+        assert len(c0) == pytest.approx(5 * len(c1), rel=0.1)
+
+    def test_full_coverage(self):
+        s = ModelProfileScheduler(sample_pct=0.15)
+        s.start(ctx_for(503, 3))
+        stage1, stage2 = run_two_stage(s, 3, [2.0, 1.0, 1.0])
+        total = sum(len(c) for c in stage1.values() if c is not None) + sum(
+            len(c) for c in stage2.values() if c is not None
+        )
+        assert total == 503
+
+    def test_describe(self):
+        s = ModelProfileScheduler(sample_pct=0.10)
+        s.start(ctx_for(100, 2, cutoff=0.15))
+        assert s.describe() == "MODEL_PROFILE_AUTO,10%,15%"

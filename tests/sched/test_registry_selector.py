@@ -1,0 +1,100 @@
+"""Algorithm registry (Table II) and the selection heuristics (§VI.D)."""
+
+import pytest
+
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import cpu_mic_node, full_node, gpu4_node
+from repro.sched.align_sched import AlignedScheduler
+from repro.sched.registry import ALGORITHM_TABLE, SCHEDULERS, make_scheduler
+from repro.sched.selector import select_algorithm
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        # the seven Table II algorithms, the ALIGN distribution schedule,
+        # and the HISTORY_AUTO extension (paper future work)
+        assert set(SCHEDULERS) == {
+            "BLOCK",
+            "SCHED_DYNAMIC",
+            "SCHED_GUIDED",
+            "MODEL_1_AUTO",
+            "MODEL_2_AUTO",
+            "SCHED_PROFILE_AUTO",
+            "MODEL_PROFILE_AUTO",
+            "ALIGN",
+            "HISTORY_AUTO",
+            "WORK_STEALING",
+        }
+
+    def test_make_scheduler_case_insensitive(self):
+        s = make_scheduler("sched_dynamic")
+        assert s.notation == "SCHED_DYNAMIC"
+
+    def test_make_scheduler_forwards_kwargs(self):
+        s = make_scheduler("SCHED_DYNAMIC", chunk_pct=0.05)
+        assert s.chunk_pct == 0.05
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            make_scheduler("ROUND_ROBIN_MAGIC")
+
+    def test_align_constructible_from_registry(self):
+        s = make_scheduler("ALIGN", target="x")
+        assert isinstance(s, AlignedScheduler)
+
+    def test_table2_rows_consistent_with_classes(self):
+        notations = {row.notation.split(",")[0] for row in ALGORITHM_TABLE}
+        assert notations == set(SCHEDULERS) - {
+            "ALIGN", "HISTORY_AUTO", "WORK_STEALING"
+        }
+        for row in ALGORITHM_TABLE:
+            cls = SCHEDULERS[row.notation.split(",")[0]]
+            instance = cls()
+            if row.stages == "1":
+                assert instance.stages == 1
+            elif row.stages == "2":
+                assert instance.stages == 2
+            else:
+                assert instance.stages == -1
+
+    def test_cutoff_support_matches_table2_note(self):
+        # "CUTOFF ratio is only applicable to the last four algorithms"
+        supports = {
+            name: cls().supports_cutoff for name, cls in SCHEDULERS.items()
+            if name not in ("ALIGN", "HISTORY_AUTO", "WORK_STEALING")
+        }
+        assert supports == {
+            "BLOCK": False,
+            "SCHED_DYNAMIC": False,
+            "SCHED_GUIDED": False,
+            "MODEL_1_AUTO": True,
+            "MODEL_2_AUTO": True,
+            "SCHED_PROFILE_AUTO": True,
+            "MODEL_PROFILE_AUTO": True,
+        }
+
+
+class TestSelector:
+    """Paper §VI.D heuristics."""
+
+    def test_compute_intensive_on_identical_devices_is_block(self):
+        k = make_kernel("matmul", 128)
+        assert select_algorithm(k, gpu4_node()) == "BLOCK"
+
+    def test_compute_intensive_on_heterogeneous_is_model1(self):
+        k = make_kernel("matmul", 128)
+        assert select_algorithm(k, cpu_mic_node()) == "MODEL_1_AUTO"
+        assert select_algorithm(k, full_node()) == "MODEL_1_AUTO"
+
+    def test_stencil_and_bm_treated_compute_intensive(self):
+        assert select_algorithm(make_kernel("stencil", 64), gpu4_node()) == "BLOCK"
+        assert select_algorithm(make_kernel("bm", 64), full_node()) == "MODEL_1_AUTO"
+
+    def test_balanced_kernel_is_dynamic(self):
+        k = make_kernel("matvec", 256)
+        assert select_algorithm(k, gpu4_node()) == "SCHED_DYNAMIC"
+        assert select_algorithm(k, full_node()) == "SCHED_DYNAMIC"
+
+    def test_data_intensive_is_model2(self):
+        assert select_algorithm(make_kernel("axpy", 1000), full_node()) == "MODEL_2_AUTO"
+        assert select_algorithm(make_kernel("sum", 1000), gpu4_node()) == "MODEL_2_AUTO"

@@ -1,0 +1,36 @@
+"""Unit conversions."""
+
+from repro.util.units import (
+    fmt_bytes,
+    fmt_ms,
+    gbs_to_bytes_per_s,
+    gflops_to_flops,
+    ms_to_seconds,
+    seconds_to_ms,
+)
+
+
+def test_gflops_conversion():
+    assert gflops_to_flops(1.5) == 1.5e9
+
+
+def test_bandwidth_conversion_is_decimal():
+    # vendors quote decimal GB/s
+    assert gbs_to_bytes_per_s(11.0) == 11e9
+
+
+def test_ms_round_trip():
+    assert ms_to_seconds(seconds_to_ms(0.123)) == 0.123
+
+
+def test_fmt_ms_scales_precision():
+    assert fmt_ms(0.5) == "500.0 ms"
+    assert fmt_ms(0.005) == "5.00 ms"
+    assert fmt_ms(0.0000005) == "0.0005 ms"
+
+
+def test_fmt_bytes_binary_units():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2048) == "2.00 KiB"
+    assert fmt_bytes(3 * 1024**2) == "3.00 MiB"
+    assert fmt_bytes(5 * 1024**3) == "5.00 GiB"

@@ -9,6 +9,27 @@ artefact.  Simulations are deterministic, so one round is meaningful;
 
 from __future__ import annotations
 
+import os
+import sys
+
+# Pin BLAS/OpenMP pools to one thread BEFORE numpy loads: the kernels here
+# issue thousands of small-array operations, and multi-threaded BLAS burns
+# minutes of sys time in thread churn on them (the seed suite spent 3m29s
+# of sys time this way).  Process-pool workers inherit the pins (fork), and
+# the runner's worker initializer re-applies them for spawn platforms.
+# Must happen at conftest import, which pytest guarantees precedes the test
+# modules (and therefore the first `import numpy`).
+_THREAD_PINS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+if "numpy" not in sys.modules:
+    for _var in _THREAD_PINS:
+        os.environ.setdefault(_var, "1")
+
 from pathlib import Path
 
 import pytest

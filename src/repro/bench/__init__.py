@@ -5,9 +5,28 @@ from repro.bench.workloads import (
     BENCH_SCALE_ENV,
     bench_scale,
     workload,
+    WorkloadFactory,
     WORKLOAD_NAMES,
 )
-from repro.bench.runner import PolicyGrid, run_grid, run_one
+from repro.bench.cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    CacheStats,
+    SweepCache,
+    cache_mode,
+    get_cache,
+    reset_cache,
+    result_key,
+)
+from repro.bench.runner import (
+    ALL_POLICIES,
+    WORKERS_ENV,
+    PolicyGrid,
+    engine_run_count,
+    run_cell,
+    run_grid,
+    run_one,
+)
 from repro.bench.figures import (
     fig5_gpu4,
     fig6_breakdown,
@@ -19,11 +38,24 @@ from repro.bench.figures import (
 )
 
 __all__ = [
+    "ALL_POLICIES",
     "BENCH_SCALE_ENV",
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "WORKERS_ENV",
+    "CacheStats",
+    "SweepCache",
+    "WorkloadFactory",
     "bench_scale",
+    "cache_mode",
+    "engine_run_count",
+    "get_cache",
+    "reset_cache",
+    "result_key",
     "workload",
     "WORKLOAD_NAMES",
     "PolicyGrid",
+    "run_cell",
     "run_grid",
     "run_one",
     "fig5_gpu4",

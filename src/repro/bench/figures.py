@@ -11,8 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bench.runner import PolicyGrid, run_grid, run_one
-from repro.bench.workloads import WORKLOAD_NAMES, workload, workload_label
+from repro.bench.runner import PolicyGrid, run_cell, run_grid, run_one
+from repro.bench.workloads import (
+    WORKLOAD_NAMES,
+    WorkloadFactory,
+    workload,
+    workload_label,
+)
 from repro.kernels.registry import KERNELS
 from repro.machine.presets import cpu_mic_node, full_node, gpu4_node
 from repro.machine.spec import MachineSpec
@@ -31,8 +36,9 @@ __all__ = [
 _FIG_KERNELS = ("axpy", "matvec", "matmul", "stencil", "sum", "bm")
 
 
-def _factories(seed: int = 0):
-    return {name: (lambda n=name: workload(n, seed=seed)) for name in _FIG_KERNELS}
+def _factories(seed: int = 0) -> dict[str, WorkloadFactory]:
+    """Picklable, cache-fingerprintable factories for the figure kernels."""
+    return {name: WorkloadFactory(name, seed=seed) for name in _FIG_KERNELS}
 
 
 @dataclass
@@ -93,7 +99,7 @@ def fig7_speedup(*, seed: int = 0, max_gpus: int = 4) -> FigureResult:
         series: list[float] = []
         for g in range(1, max_gpus + 1):
             machine = gpu4_node(g)
-            grid = run_grid(machine, {kname: lambda n=kname: workload(n, seed=seed)})
+            grid = run_grid(machine, {kname: WorkloadFactory(kname, seed=seed)})
             best = grid.results[kname][grid.best_policy(kname)]
             if base_s is None:
                 base_s = best.total_time_s
@@ -126,8 +132,8 @@ def fig9_full_node(*, seed: int = 0, cutoff_ratio: float = 0.15) -> FigureResult
         best_pol = ""
         for policy in ("MODEL_1_AUTO", "MODEL_2_AUTO", "SCHED_PROFILE_AUTO",
                        "MODEL_PROFILE_AUTO"):
-            result = run_one(
-                machine, workload(kname, seed=seed), policy,
+            result = run_cell(
+                machine, WorkloadFactory(kname, seed=seed), policy,
                 cutoff_ratio=cutoff_ratio, seed=seed,
             )
             if result.total_time_ms < best_ms:
@@ -195,9 +201,10 @@ def table5_cutoff(*, seed: int = 0, cutoff_ratio: float = 0.15) -> FigureResult:
     for name in WORKLOAD_NAMES:
         best = None  # (cut_time, plain_time, cut_result)
         for policy in algos:
-            r0 = run_one(machine, workload(name, seed=seed), policy, seed=seed)
-            r1 = run_one(
-                machine, workload(name, seed=seed), policy,
+            factory = WorkloadFactory(name, seed=seed)
+            r0 = run_cell(machine, factory, policy, seed=seed)
+            r1 = run_cell(
+                machine, factory, policy,
                 cutoff_ratio=cutoff_ratio, seed=seed,
             )
             if best is None or r1.total_time_s < best[0]:

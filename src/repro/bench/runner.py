@@ -3,21 +3,43 @@
 Every run verifies the numeric output against the kernel's serial
 reference — a benchmark that silently computes the wrong answer is worse
 than a failing one.
+
+Independent (kernel, policy) cells can fan out over a process pool
+(``run_grid(..., workers=N)``) and/or be served from the sweep cache
+(:mod:`repro.bench.cache`); both paths return results bit-identical to
+the serial uncached sweep, in the same deterministic order.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.bench.cache import SweepCache, get_cache, result_key
 from repro.engine.trace import OffloadResult
 from repro.errors import OffloadError
 from repro.kernels.base import LoopKernel
 from repro.machine.spec import MachineSpec
 from repro.runtime.runtime import HompRuntime
 
-__all__ = ["PolicyGrid", "run_one", "run_grid", "verify_result"]
+__all__ = [
+    "ALL_POLICIES",
+    "WORKERS_ENV",
+    "PolicyGrid",
+    "run_one",
+    "run_cell",
+    "run_grid",
+    "verify_result",
+    "engine_run_count",
+]
+
+#: Default process-pool width for ``run_grid`` (0 = serial in-process).
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
 
 #: The seven Table II algorithms in the order the figures list them.
 ALL_POLICIES = (
@@ -58,6 +80,15 @@ def verify_result(kernel: LoopKernel, result: OffloadResult, *, rtol=1e-9) -> No
             )
 
 
+#: Offloads actually executed by this process (cache hits don't count).
+_ENGINE_RUNS = 0
+
+
+def engine_run_count() -> int:
+    """How many offloads this process has really executed (not cache hits)."""
+    return _ENGINE_RUNS
+
+
 def run_one(
     machine: MachineSpec,
     kernel: LoopKernel,
@@ -68,10 +99,79 @@ def run_one(
     verify: bool = True,
 ) -> OffloadResult:
     """One kernel under one policy, verified."""
+    global _ENGINE_RUNS
+    _ENGINE_RUNS += 1
     rt = HompRuntime(machine, seed=seed)
     result = rt.parallel_for(kernel, schedule=policy, cutoff_ratio=cutoff_ratio)
     if verify:
         verify_result(kernel, result)
+    return result
+
+
+def _cell_key(
+    machine: MachineSpec,
+    factory: Callable[[], LoopKernel],
+    policy: str,
+    *,
+    cutoff_ratio: float,
+    seed: int,
+    verify: bool,
+) -> str | None:
+    """Cache key for one cell, or None when the factory is anonymous.
+
+    Only factories that expose a ``fingerprint()`` identity (e.g.
+    :class:`~repro.bench.workloads.WorkloadFactory`) are cacheable; an
+    arbitrary lambda could close over anything, so its cells always run.
+    """
+    fingerprint = getattr(factory, "fingerprint", None)
+    if fingerprint is None:
+        return None
+    return result_key(
+        machine,
+        fingerprint(),
+        policy,
+        cutoff_ratio=cutoff_ratio,
+        seed=seed,
+        verify=verify,
+    )
+
+
+def run_cell(
+    machine: MachineSpec,
+    factory: Callable[[], LoopKernel],
+    policy: str,
+    *,
+    cutoff_ratio: float = 0.0,
+    seed: int = 0,
+    verify: bool = True,
+    cache: SweepCache | None = None,
+) -> OffloadResult:
+    """One grid cell through the sweep cache.
+
+    Consults the cache (keyed by the factory's fingerprint) before
+    building the kernel at all — a hit skips input generation, execution
+    and verification entirely.  Misses run exactly like ``run_one`` and
+    populate the cache.
+    """
+    cache = get_cache() if cache is None else cache
+    key = (
+        _cell_key(
+            machine, factory, policy,
+            cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+        )
+        if cache.enabled
+        else None
+    )
+    if key is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = run_one(
+        machine, factory(), policy,
+        cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+    )
+    if key is not None:
+        cache.put(key, result)
     return result
 
 
@@ -98,32 +198,128 @@ class PolicyGrid:
         return out
 
 
+def _default_workers() -> int:
+    """Pool width from ``REPRO_BENCH_WORKERS`` (0 = serial)."""
+    try:
+        return max(0, int(os.environ.get(WORKERS_ENV, "0")))
+    except ValueError:
+        return 0
+
+
+def _pin_worker_threads() -> None:
+    """Keep pool workers single-threaded in their BLAS/OpenMP layers.
+
+    Under the default fork start method workers inherit the parent's pins
+    (set in ``benchmarks/conftest.py`` before numpy loads); this makes the
+    pin explicit for spawn-based platforms too.
+    """
+    for var in (
+        "OMP_NUM_THREADS",
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+        "NUMEXPR_NUM_THREADS",
+        "VECLIB_MAXIMUM_THREADS",
+    ):
+        os.environ.setdefault(var, "1")
+
+
+def _pool_cell(
+    machine: MachineSpec,
+    factory: Callable[[], LoopKernel],
+    policy: str,
+    cutoff_ratio: float,
+    seed: int,
+    verify: bool,
+) -> OffloadResult:
+    """One cell in a pool worker (kernel built, run and verified there)."""
+    return run_one(
+        machine, factory(), policy,
+        cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+    )
+
+
 def run_grid(
     machine: MachineSpec,
-    kernels: dict[str, "callable"],
+    kernels: Mapping[str, Callable[[], LoopKernel]],
     *,
     policies: tuple[str, ...] = ALL_POLICIES,
     cutoff_ratio: float = 0.0,
     seed: int = 0,
     verify: bool = True,
+    workers: int | None = None,
+    cache: SweepCache | None = None,
 ) -> PolicyGrid:
     """Sweep kernel factories over policies.
 
     ``kernels`` maps display name -> zero-arg factory returning a *fresh*
     kernel (runs mutate output arrays, so each cell needs its own).
+
+    ``workers`` > 0 fans independent cells out over a process pool of that
+    width; ``None`` reads ``REPRO_BENCH_WORKERS`` (default 0 = serial).
+    Results are assembled in the declared kernel/policy order regardless
+    of completion order, and each cell is bit-identical to what the serial
+    path produces (cells share nothing; every worker builds its own kernel
+    from the same seed).  Cells whose factories carry a cache fingerprint
+    are served from / stored into the sweep cache; anonymous lambdas (and
+    unpicklable factories, in pool mode) simply run in-process.
     """
+    workers = _default_workers() if workers is None else max(0, int(workers))
+    cache = get_cache() if cache is None else cache
     grid = PolicyGrid(machine_name=machine.name, policies=tuple(policies))
+
+    # Resolve cache hits up front; only misses are (possibly) parallelised.
+    pending: list[tuple[str, Callable[[], LoopKernel], str, str | None]] = []
+    results: dict[tuple[str, str], OffloadResult] = {}
     for kname, factory in kernels.items():
-        row: dict[str, OffloadResult] = {}
-        for policy in policies:
-            kernel = factory()
-            row[policy] = run_one(
-                machine,
-                kernel,
-                policy,
-                cutoff_ratio=cutoff_ratio,
-                seed=seed,
-                verify=verify,
+        for policy in grid.policies:
+            key = (
+                _cell_key(
+                    machine, factory, policy,
+                    cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+                )
+                if cache.enabled
+                else None
             )
-        grid.results[kname] = row
+            hit = cache.get(key) if key is not None else None
+            if hit is not None:
+                results[(kname, policy)] = hit
+            else:
+                pending.append((kname, factory, policy, key))
+
+    if workers > 0 and pending and _cells_picklable(machine, pending):
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_pin_worker_threads
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _pool_cell, machine, factory, policy, cutoff_ratio, seed, verify
+                )
+                for _, factory, policy, _ in pending
+            ]
+            for (kname, _, policy, key), future in zip(pending, futures):
+                result = future.result()
+                if key is not None:
+                    cache.put(key, result)
+                results[(kname, policy)] = result
+    else:
+        for kname, factory, policy, key in pending:
+            result = run_one(
+                machine, factory(), policy,
+                cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+            )
+            if key is not None:
+                cache.put(key, result)
+            results[(kname, policy)] = result
+
+    for kname in kernels:
+        grid.results[kname] = {p: results[(kname, p)] for p in grid.policies}
     return grid
+
+
+def _cells_picklable(machine: MachineSpec, pending: list) -> bool:
+    """Whether the pool can ship these cells (lambdas can't be pickled)."""
+    try:
+        pickle.dumps((machine, [factory for _, factory, _, _ in pending]))
+        return True
+    except Exception:
+        return False

@@ -10,11 +10,20 @@ fast while preserving every who-wins relationship; set
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
+from typing import Any
 
 from repro.kernels.base import LoopKernel
 from repro.kernels.registry import PAPER_SIZES, paper_workload
 
-__all__ = ["BENCH_SCALE_ENV", "bench_scale", "workload", "WORKLOAD_NAMES"]
+__all__ = [
+    "BENCH_SCALE_ENV",
+    "bench_scale",
+    "workload",
+    "workload_label",
+    "WorkloadFactory",
+    "WORKLOAD_NAMES",
+]
 
 BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
 
@@ -53,6 +62,35 @@ def bench_scale(name: str) -> float:
 def workload(name: str, *, seed: int = 0) -> LoopKernel:
     """Fresh kernel instance for a named paper workload at bench scale."""
     return paper_workload(name, scale=bench_scale(name), seed=seed)
+
+
+@dataclass(frozen=True)
+class WorkloadFactory:
+    """Zero-arg factory for a named paper workload.
+
+    Unlike a lambda closure this is picklable (so ``run_grid`` can ship it
+    to process-pool workers) and fingerprintable (so the sweep cache can
+    key the cell it produces).  Calling it is exactly
+    ``workload(name, seed=seed)``.
+    """
+
+    name: str
+    seed: int = 0
+
+    def __call__(self) -> LoopKernel:
+        return workload(self.name, seed=self.seed)
+
+    def fingerprint(self) -> dict[str, Any]:
+        """Identity of the kernel this factory builds, for cache keys.
+
+        The bench scale is resolved at fingerprint time, so changing
+        ``REPRO_BENCH_SCALE`` changes the key.
+        """
+        return {
+            "workload": self.name,
+            "scale": bench_scale(self.name),
+            "seed": self.seed,
+        }
 
 
 def workload_label(name: str) -> str:

@@ -1,0 +1,161 @@
+"""Concrete distributions: per-device ranges for loop dims and array dims.
+
+A :class:`DimDistribution` is the *result* of applying a policy to one
+region: for each device, the (possibly several, for CYCLIC) half-open
+ranges it owns.  An :class:`ArrayDistribution` stacks one per array
+dimension and can produce the numpy index tuple for a device's subregion.
+
+Invariants (pinned by property tests): per-device ranges of a partitioning
+policy are disjoint and cover the region exactly; FULL replicates the whole
+region on every device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import DistributionError
+from repro.dist.policy import Full, Policy
+from repro.util.ranges import IterRange
+
+__all__ = ["DimDistribution", "ArrayDistribution"]
+
+
+@dataclass(frozen=True)
+class DimDistribution:
+    """One region distributed over ``ndev`` devices."""
+
+    region: IterRange
+    parts: tuple[tuple[IterRange, ...], ...]  # parts[devid] -> ranges
+    policy: Policy
+    replicated: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise DistributionError("distribution must cover at least one device")
+        if not self.replicated:
+            covered = sum(len(r) for ranges in self.parts for r in ranges)
+            if covered != len(self.region):
+                raise DistributionError(
+                    f"distribution covers {covered} of {len(self.region)} indices"
+                )
+
+    @property
+    def ndev(self) -> int:
+        return len(self.parts)
+
+    def device_ranges(self, devid: int) -> tuple[IterRange, ...]:
+        return self.parts[devid]
+
+    def device_size(self, devid: int) -> int:
+        return sum(len(r) for r in self.parts[devid])
+
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(self.device_size(d) for d in range(self.ndev))
+
+    def owner_of(self, index: int) -> int:
+        """Device owning a global index (first owner if replicated)."""
+        for dev, ranges in enumerate(self.parts):
+            if any(index in r for r in ranges):
+                return dev
+        raise DistributionError(f"index {index} outside distributed region")
+
+    def scaled(self, ratio: float, policy: Policy) -> "DimDistribution":
+        """ALIGN with a ratio: every range boundary scaled by ``ratio``.
+
+        Boundaries are rounded to integers; with integral ratios (the common
+        case: an array of ``r*N`` elements aligned to an ``N``-iteration
+        loop) the result covers the scaled region exactly.
+        """
+        if ratio <= 0:
+            raise DistributionError(f"ALIGN ratio must be positive, got {ratio}")
+
+        def s(x: int) -> int:
+            return round(x * ratio)
+
+        region = IterRange(s(self.region.start), s(self.region.stop))
+        parts = tuple(
+            tuple(IterRange(s(r.start), s(r.stop)) for r in ranges)
+            for ranges in self.parts
+        )
+        return DimDistribution(
+            region=region, parts=parts, policy=policy, replicated=self.replicated
+        )
+
+    @classmethod
+    def from_policy(
+        cls, policy: Policy, region: IterRange, ndev: int
+    ) -> "DimDistribution":
+        """Apply a static policy (FULL/BLOCK/CYCLIC) to a region."""
+        if policy.needs_runtime:
+            raise DistributionError(
+                f"policy {policy} needs runtime resolution, not a static split"
+            )
+        parts = tuple(tuple(rs) for rs in policy.split(region, ndev))
+        return cls(
+            region=region,
+            parts=parts,
+            policy=policy,
+            replicated=isinstance(policy, Full),
+        )
+
+    @classmethod
+    def from_chunks(
+        cls, region: IterRange, chunks: Sequence[IterRange], policy: Policy
+    ) -> "DimDistribution":
+        """Build from explicit per-device contiguous chunks (scheduler output)."""
+        return cls(
+            region=region,
+            parts=tuple((c,) if len(c) else () for c in chunks),
+            policy=policy,
+        )
+
+
+@dataclass(frozen=True)
+class ArrayDistribution:
+    """A distribution per array dimension.
+
+    The paper partitions at most one dimension per array in its kernels
+    (the others are FULL); this type supports any mix.
+    """
+
+    dims: tuple[DimDistribution, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise DistributionError("array distribution needs at least one dim")
+        ndev = self.dims[0].ndev
+        if any(d.ndev != ndev for d in self.dims):
+            raise DistributionError("all dims must distribute over the same devices")
+
+    @property
+    def ndev(self) -> int:
+        return self.dims[0].ndev
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(len(d.region) for d in self.dims)
+
+    def device_index(self, devid: int) -> tuple[slice, ...] | None:
+        """numpy index tuple for a device's subregion, or None if it owns
+        nothing.  Requires each dim's ownership to be a single contiguous
+        range (CYCLIC subregions must be iterated per-range instead)."""
+        idx: list[slice] = []
+        for dim in self.dims:
+            ranges = dim.device_ranges(devid)
+            if len(ranges) == 0 or all(r.empty for r in ranges):
+                return None
+            if len(ranges) != 1:
+                raise DistributionError(
+                    "device owns a non-contiguous subregion; index per-range"
+                )
+            idx.append(ranges[0].as_slice())
+        return tuple(idx)
+
+    def device_elems(self, devid: int) -> int:
+        """Number of array elements owned by (or replicated onto) a device."""
+        n = 1
+        for dim in self.dims:
+            n *= dim.device_size(devid)
+        return n

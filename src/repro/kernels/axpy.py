@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.dist.policy import Align
 from repro.kernels.base import LoopKernel, MapSpec
+from repro.kernels.pool import pooled_inputs
 from repro.memory.buffer import DeviceBuffer
 from repro.memory.space import MapDirection
 from repro.model.roofline import IntensityClass
@@ -26,11 +27,12 @@ class AxpyKernel(LoopKernel):
     table_class = IntensityClass.DATA_INTENSIVE
 
     def __init__(self, n: int, *, a: float = 2.5, seed: int = 0):
-        rng = np.random.default_rng(seed)
-        x = rng.standard_normal(n)
-        y = rng.standard_normal(n)
+        def _generate() -> dict[str, np.ndarray]:
+            rng = np.random.default_rng(seed)
+            return {"x": rng.standard_normal(n), "y": rng.standard_normal(n)}
+
         self.a = float(a)
-        super().__init__(n_iters=n, arrays={"x": x, "y": y})
+        super().__init__(n_iters=n, arrays=pooled_inputs(("axpy", n, seed), _generate))
 
     def maps(self) -> tuple[MapSpec, ...]:
         return (

@@ -73,6 +73,24 @@ class ChunkCost:
     replicated_in_bytes: float  # charged only on a device's first chunk
 
 
+@dataclass(frozen=True)
+class _CostConstants:
+    """Per-iteration cost constants hoisted out of the chunk hot path.
+
+    ``chunk_cost`` is called once per chunk — thousands of times per
+    dynamic/guided offload — and every field here is invariant across
+    chunks: it only changes when the effective maps change (a
+    ``set_partition`` override or a ``resident`` reassignment), which
+    invalidates the cache.
+    """
+
+    flops_per_iter: float
+    mem_bytes_per_iter: float  # includes ELEM and device_mem_factor
+    xfer_in_elems: float
+    xfer_out_elems: float
+    replicated_in_bytes: float
+
+
 @dataclass
 class _RunStats:
     chunks: int = 0
@@ -99,15 +117,17 @@ class LoopKernel(ABC):
             raise ValueError(f"{self.name}: n_iters must be positive")
         self.n_iters = int(n_iters)
         self.arrays = dict(arrays)
-        # Pristine inputs: reference() must see pre-run values even for
-        # arrays the kernel updates in place (tofrom maps).
-        self._initial = {k: v.copy() for k, v in self.arrays.items()}
         self.stats = _RunStats()
         # Per-array dim-0 policy overrides (set_partition) and arrays held
         # resident by an enclosing target-data region (no per-chunk bus
         # traffic for them).
         self._policy_overrides: dict[str, Policy] = {}
-        self.resident: frozenset[str] = frozenset()
+        self._resident: frozenset[str] = frozenset()
+        self._cost_cache: _CostConstants | None = None
+        # Per-array discrete-memory staging storage, reused across chunks
+        # (flat capacity buffers; execute_chunk carves shaped views out).
+        self._staging: dict[str, np.ndarray] = {}
+        written: set[str] = set()
         for m in self.maps():
             if m.name not in self.arrays:
                 raise MappingError(f"{self.name}: map names unknown array {m.name!r}")
@@ -117,12 +137,40 @@ class LoopKernel(ABC):
                     f"{self.name}: map {m.name!r} has {len(m.policies)} policies "
                     f"for a rank-{arr.ndim} array"
                 )
+            if m.direction.copies_out:
+                written.add(m.name)
+        mapped = {m.name for m in self.maps()}
+        # Pristine inputs: reference() must see pre-run values even for
+        # arrays the kernel updates in place (tofrom maps).  Arrays mapped
+        # only inbound are aliased instead of copied — compute() must not
+        # write through a pure-input (to) map, which is already the
+        # contract the discrete-memory path enforces.
+        self._initial = {
+            k: (v if k in mapped and k not in written else v.copy())
+            for k, v in self.arrays.items()
+        }
 
     # -- declarative surface -------------------------------------------------
 
     @property
     def iter_space(self) -> IterRange:
         return IterRange(0, self.n_iters)
+
+    @property
+    def resident(self) -> frozenset[str]:
+        """Arrays held on the devices by an enclosing target-data region."""
+        return self._resident
+
+    @resident.setter
+    def resident(self, names: frozenset[str]) -> None:
+        names = frozenset(names)
+        if names != self._resident:
+            self._resident = names
+            self._invalidate_cost_cache()
+
+    def _invalidate_cost_cache(self) -> None:
+        """Drop hoisted per-iteration constants (maps changed)."""
+        self._cost_cache = None
 
     @abstractmethod
     def maps(self) -> tuple[MapSpec, ...]:
@@ -138,6 +186,7 @@ class LoopKernel(ABC):
         if name not in self.arrays:
             raise MappingError(f"{self.name}: no mapped array {name!r}")
         self._policy_overrides[name] = policy
+        self._invalidate_cost_cache()
 
     def effective_maps(self) -> tuple[MapSpec, ...]:
         """Maps with partition overrides applied."""
@@ -193,6 +242,9 @@ class LoopKernel(ABC):
 
     def replicated_in_bytes(self) -> float:
         """Bytes of FULL-mapped input copied once to each discrete device."""
+        return self._cost_constants().replicated_in_bytes
+
+    def _replicated_in_bytes_scan(self) -> float:
         total = 0.0
         for m in self.effective_maps():
             if m.name in self.resident:
@@ -208,18 +260,45 @@ class LoopKernel(ABC):
         scheduling loses to BLOCK on compute-intensive kernels."""
         return 1.0
 
+    def _cost_constants(self) -> _CostConstants:
+        """Hoisted per-iteration constants, rebuilt only after map changes.
+
+        The multiplication order in each field matches the historical
+        per-call expressions exactly, so cached and uncached chunk costs
+        are bit-identical.
+        """
+        cc = self._cost_cache
+        if cc is None:
+            cc = _CostConstants(
+                flops_per_iter=self.flops_per_iter(),
+                mem_bytes_per_iter=(
+                    self.mem_accesses_per_iter() * ELEM * self.device_mem_factor
+                ),
+                xfer_in_elems=self._xfer_dir_elems(True),
+                xfer_out_elems=self._xfer_dir_elems(False),
+                replicated_in_bytes=self._replicated_in_bytes_scan(),
+            )
+            self._cost_cache = cc
+        return cc
+
     def chunk_cost(self, rows: IterRange) -> ChunkCost:
-        """Simulated cost of executing ``rows`` as one chunk."""
+        """Simulated cost of executing ``rows`` as one chunk.
+
+        Hot path: called once per chunk (thousands of times under dynamic
+        or guided scheduling), so it works from :meth:`_cost_constants`
+        instead of rescanning ``effective_maps()`` per call.
+        """
         n = len(rows)
         eff = self.chunk_efficiency(n)
         if not 0.0 < eff <= 1.0:
             raise ValueError(f"{self.name}: chunk_efficiency must be in (0, 1]")
+        cc = self._cost_constants()
         return ChunkCost(
-            flops=self.flops_per_iter() * n / eff,
-            mem_bytes=self.mem_accesses_per_iter() * ELEM * self.device_mem_factor * n,
-            xfer_in_bytes=self._xfer_dir_elems(True) * ELEM * n,
-            xfer_out_bytes=self._xfer_dir_elems(False) * ELEM * n,
-            replicated_in_bytes=self.replicated_in_bytes(),
+            flops=cc.flops_per_iter * n / eff,
+            mem_bytes=cc.mem_bytes_per_iter * n,
+            xfer_in_bytes=cc.xfer_in_elems * ELEM * n,
+            xfer_out_bytes=cc.xfer_out_elems * ELEM * n,
+            replicated_in_bytes=cc.replicated_in_bytes,
         )
 
     def _xfer_dir_elems(self, inbound: bool) -> float:
@@ -285,23 +364,47 @@ class LoopKernel(ABC):
                 f"iteration space [0,{self.n_iters})"
             )
         buffers: dict[str, DeviceBuffer] = {}
-        for m in self.effective_maps():
+        maps = self.effective_maps()
+        for m in maps:
+            region = self.input_region(m, rows)
             buf = DeviceBuffer(
                 name=m.name,
                 host_array=self.arrays[m.name],
-                region=self.input_region(m, rows),
+                region=region,
                 shared=shared,
+                storage=None if shared else self._staging_view(m.name, region),
             )
             if m.direction.copies_in:
                 buf.copy_in()
             buffers[m.name] = buf
         partial = self.compute(buffers, rows)
-        for m in self.effective_maps():
+        for m in maps:
             if m.direction.copies_out:
                 buffers[m.name].copy_out()
         self.stats.chunks += 1
         self.stats.iterations += len(rows)
         return partial
+
+    def _staging_view(self, name: str, region: tuple[IterRange, ...]) -> np.ndarray:
+        """A reusable discrete-memory staging array shaped for ``region``.
+
+        Each array keeps one flat capacity buffer, grown when a chunk needs
+        more; per-chunk views are carved out of it, so dynamic/guided runs
+        stop paying an allocation per chunk.  Contents carry over between
+        chunks, which is equivalent to the former ``np.empty_like``
+        allocation: copy-in overwrites inbound regions and outbound-only
+        maps must be fully written by ``compute`` either way.
+        """
+        host = self.arrays[name]
+        shape = tuple(len(r) for r in region)
+        size = 1
+        for extent in shape:
+            size *= extent
+        flat = self._staging.get(name)
+        if flat is None or flat.size < size or flat.dtype != host.dtype:
+            flat = np.empty(size, dtype=host.dtype)
+            self._staging[name] = flat
+        return flat[:size].reshape(shape)
 
     @abstractmethod
     def compute(self, buffers: dict[str, DeviceBuffer], rows: IterRange) -> float | None:

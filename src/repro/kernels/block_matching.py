@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.dist.policy import Align, Full
 from repro.kernels.base import LoopKernel, MapSpec
+from repro.kernels.pool import pooled_inputs
 from repro.memory.buffer import DeviceBuffer
 from repro.memory.space import MapDirection
 from repro.model.roofline import IntensityClass
@@ -42,19 +43,20 @@ class BlockMatchingKernel(LoopKernel):
             raise ValueError(f"search must be >= 0, got {search}")
         if n < window + 2 * search:
             raise ValueError(f"frame size {n} too small for window/search")
-        rng = np.random.default_rng(seed)
-        frame1 = rng.random((n, n))
-        frame2 = frame1 + 0.05 * rng.standard_normal((n, n))
+        def _generate() -> dict[str, np.ndarray]:
+            rng = np.random.default_rng(seed)
+            frame1 = rng.random((n, n))
+            frame2 = frame1 + 0.05 * rng.standard_normal((n, n))
+            return {"frame1": frame1, "frame2": frame2}
+
         # Anchors where every candidate block stays in-frame.
         self.n = n
         self.window = window
         self.search = search
         self.anchors = n - window - 2 * search + 1
-        sad = np.zeros((self.anchors, self.anchors))
-        super().__init__(
-            n_iters=self.anchors,
-            arrays={"frame1": frame1, "frame2": frame2, "sad": sad},
-        )
+        arrays = pooled_inputs(("bm", n, seed), _generate)
+        arrays["sad"] = np.zeros((self.anchors, self.anchors))
+        super().__init__(n_iters=self.anchors, arrays=arrays)
 
     def maps(self) -> tuple[MapSpec, ...]:
         # An anchor row i reads frame1 rows [i, i+W) and frame2 rows

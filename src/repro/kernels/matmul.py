@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.dist.policy import Align, Full
 from repro.kernels.base import LoopKernel, MapSpec
+from repro.kernels.pool import pooled_inputs
 from repro.memory.buffer import DeviceBuffer
 from repro.memory.space import MapDirection
 from repro.model.roofline import IntensityClass
@@ -27,12 +28,14 @@ class MatMulKernel(LoopKernel):
     table_class = IntensityClass.COMPUTE_INTENSIVE
 
     def __init__(self, n: int, *, seed: int = 0):
-        rng = np.random.default_rng(seed)
-        a = rng.standard_normal((n, n))
-        b = rng.standard_normal((n, n))
-        c = np.zeros((n, n))
+        def _generate() -> dict[str, np.ndarray]:
+            rng = np.random.default_rng(seed)
+            return {"A": rng.standard_normal((n, n)), "B": rng.standard_normal((n, n))}
+
         self.n = n
-        super().__init__(n_iters=n, arrays={"A": a, "B": b, "C": c})
+        arrays = pooled_inputs(("matmul", n, seed), _generate)
+        arrays["C"] = np.zeros((n, n))
+        super().__init__(n_iters=n, arrays=arrays)
 
     def maps(self) -> tuple[MapSpec, ...]:
         return (

@@ -1,0 +1,90 @@
+"""Shared input-array pool for benchmark kernels.
+
+Grid sweeps build a *fresh* kernel per (kernel, policy) cell because runs
+mutate output arrays — but the expensive part of construction is
+regenerating multi-MB random inputs with ``default_rng(seed)`` for every
+cell.  The pool generates each distinct input set **once** per
+``(kernel, n, seed, params)`` key and hands every subsequent instance a
+private copy of the cached base (a memcpy instead of an RNG sweep), so
+values are bit-identical to direct generation.
+
+The base arrays are kept read-only so a buggy aliasing consumer fails
+loudly instead of corrupting later instances.  Set ``REPRO_INPUT_POOL=off``
+to bypass the pool entirely (every call then runs its generator directly).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+import numpy as np
+
+__all__ = [
+    "INPUT_POOL_ENV",
+    "pool_enabled",
+    "pooled_inputs",
+    "pool_stats",
+    "clear_pool",
+]
+
+INPUT_POOL_ENV = "REPRO_INPUT_POOL"
+
+#: Base arrays per key, LRU-evicted beyond this many generator results.
+_MAX_ENTRIES = 32
+
+_BASE: "OrderedDict[Hashable, dict[str, np.ndarray]]" = OrderedDict()
+_HITS = 0
+_MISSES = 0
+
+
+def pool_enabled() -> bool:
+    """True unless ``REPRO_INPUT_POOL`` is set to ``off``/``0``/``false``."""
+    return os.environ.get(INPUT_POOL_ENV, "").strip().lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
+
+def pooled_inputs(
+    key: Hashable, make: Callable[[], dict[str, np.ndarray]]
+) -> dict[str, np.ndarray]:
+    """Copies of the cached base arrays for ``key``, generating on miss.
+
+    ``make`` must be deterministic in ``key`` (same key => bit-identical
+    arrays); kernel constructors guarantee that by keying on every
+    parameter their RNG consumes.  Returned arrays are fresh writable
+    copies — mutating them never affects the pool.
+    """
+    global _HITS, _MISSES
+    if not pool_enabled():
+        return make()
+    base = _BASE.get(key)
+    if base is None:
+        _MISSES += 1
+        base = make()
+        for arr in base.values():
+            arr.setflags(write=False)
+        _BASE[key] = base
+        while len(_BASE) > _MAX_ENTRIES:
+            _BASE.popitem(last=False)
+    else:
+        _HITS += 1
+        _BASE.move_to_end(key)
+    return {name: arr.copy() for name, arr in base.items()}
+
+
+def pool_stats() -> dict[str, int]:
+    """Hit/miss/entry counters (for tests and diagnostics)."""
+    return {"hits": _HITS, "misses": _MISSES, "entries": len(_BASE)}
+
+
+def clear_pool() -> None:
+    """Drop all cached bases and reset counters."""
+    global _HITS, _MISSES
+    _BASE.clear()
+    _HITS = 0
+    _MISSES = 0

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.dist.policy import Align, Full
 from repro.kernels.base import LoopKernel, MapSpec
+from repro.kernels.pool import pooled_inputs
 from repro.memory.buffer import DeviceBuffer
 from repro.memory.space import MapDirection
 from repro.model.roofline import IntensityClass
@@ -35,11 +36,15 @@ class Stencil2DKernel(LoopKernel):
     def __init__(self, n: int, *, seed: int = 0):
         if n <= 2 * RADIUS:
             raise ValueError(f"stencil grid must exceed {2 * RADIUS}, got {n}")
-        rng = np.random.default_rng(seed)
-        u_in = rng.standard_normal((n, n))
-        u_out = u_in.copy()  # boundary rows/cols keep their input values
+        def _generate() -> dict[str, np.ndarray]:
+            rng = np.random.default_rng(seed)
+            return {"u_in": rng.standard_normal((n, n))}
+
         self.n = n
-        super().__init__(n_iters=n, arrays={"u_in": u_in, "u_out": u_out})
+        arrays = pooled_inputs(("stencil", n, seed), _generate)
+        # boundary rows/cols keep their input values
+        arrays["u_out"] = arrays["u_in"].copy()
+        super().__init__(n_iters=n, arrays=arrays)
 
     def maps(self) -> tuple[MapSpec, ...]:
         return (

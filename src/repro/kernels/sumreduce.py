@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.dist.policy import Align
 from repro.kernels.base import LoopKernel, MapSpec
+from repro.kernels.pool import pooled_inputs
 from repro.memory.buffer import DeviceBuffer
 from repro.memory.space import MapDirection
 from repro.model.roofline import IntensityClass
@@ -29,9 +30,11 @@ class SumKernel(LoopKernel):
     device_mem_factor = 4.0
 
     def __init__(self, n: int, *, seed: int = 0):
-        rng = np.random.default_rng(seed)
-        x = rng.standard_normal(n)
-        super().__init__(n_iters=n, arrays={"x": x})
+        def _generate() -> dict[str, np.ndarray]:
+            rng = np.random.default_rng(seed)
+            return {"x": rng.standard_normal(n)}
+
+        super().__init__(n_iters=n, arrays=pooled_inputs(("sum", n, seed), _generate))
 
     def maps(self) -> tuple[MapSpec, ...]:
         return (MapSpec("x", MapDirection.TO, (Align(self.label),)),)

@@ -24,12 +24,19 @@ __all__ = ["DeviceBuffer"]
 
 @dataclass
 class DeviceBuffer:
-    """Storage for one mapped (sub)array on one device."""
+    """Storage for one mapped (sub)array on one device.
+
+    ``storage`` optionally supplies pre-allocated discrete-memory backing
+    (a staging buffer reused across chunks); it must match the region's
+    shape and the host array's dtype.  Ignored for shared buffers, which
+    are always views of host memory.
+    """
 
     name: str
     host_array: np.ndarray
     region: tuple[IterRange, ...]  # per-dim global ranges held by this buffer
     shared: bool  # view of host memory vs discrete copy
+    storage: np.ndarray | None = None
     data: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
@@ -44,11 +51,19 @@ class DeviceBuffer:
                     f"buffer {self.name!r}: dim {dim} range [{r.start},{r.stop}) "
                     f"outside array extent {self.host_array.shape[dim]}"
                 )
-        idx = self._global_index()
         if self.shared:
-            self.data = self.host_array[idx]  # a view: writes are shared
+            self.data = self.host_array[self._global_index()]  # a view: writes are shared
+        elif self.storage is not None:
+            shape = tuple(len(r) for r in self.region)
+            if self.storage.shape != shape or self.storage.dtype != self.host_array.dtype:
+                raise MappingError(
+                    f"buffer {self.name!r}: storage shape/dtype "
+                    f"{self.storage.shape}/{self.storage.dtype} does not match "
+                    f"region {shape}/{self.host_array.dtype}"
+                )
+            self.data = self.storage
         else:
-            self.data = np.empty_like(self.host_array[idx])
+            self.data = np.empty_like(self.host_array[self._global_index()])
 
     def _global_index(self) -> tuple[slice, ...]:
         return tuple(r.as_slice() for r in self.region)

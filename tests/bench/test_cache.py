@@ -1,0 +1,216 @@
+"""Sweep cache: hit/miss behaviour, fingerprint sensitivity, disk layer,
+and the cross-figure reuse the derived figures rely on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    SweepCache,
+    cache_mode,
+    get_cache,
+    reset_cache,
+    result_key,
+)
+from repro.bench.runner import engine_run_count, run_cell, run_grid
+from repro.bench.workloads import BENCH_SCALE_ENV, WorkloadFactory
+from repro.machine.presets import cpu_mic_node, gpu4_node
+
+
+@pytest.fixture(autouse=True)
+def tiny_cached(monkeypatch, tmp_path):
+    monkeypatch.setenv(BENCH_SCALE_ENV, "0.004")
+    monkeypatch.setenv(CACHE_ENV, "mem")
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+    reset_cache()
+    yield
+    reset_cache()
+
+
+def _runs_for(fn) -> int:
+    before = engine_run_count()
+    fn()
+    return engine_run_count() - before
+
+
+# ---------------------------------------------------------------- keys
+
+
+def test_key_is_stable():
+    m = gpu4_node()
+    fp = WorkloadFactory("axpy").fingerprint()
+    k1 = result_key(m, fp, "BLOCK", cutoff_ratio=0.0, seed=0, verify=True)
+    k2 = result_key(m, fp, "BLOCK", cutoff_ratio=0.0, seed=0, verify=True)
+    assert k1 == k2
+
+
+def test_key_sensitive_to_machine():
+    fp = WorkloadFactory("axpy").fingerprint()
+    kw = dict(cutoff_ratio=0.0, seed=0, verify=True)
+    assert result_key(gpu4_node(), fp, "BLOCK", **kw) != result_key(
+        cpu_mic_node(), fp, "BLOCK", **kw
+    )
+    assert result_key(gpu4_node(), fp, "BLOCK", **kw) != result_key(
+        gpu4_node(2), fp, "BLOCK", **kw
+    )
+
+
+def test_key_sensitive_to_workload_seed_and_scale(monkeypatch):
+    m = gpu4_node()
+    kw = dict(cutoff_ratio=0.0, seed=0, verify=True)
+    fp0 = WorkloadFactory("axpy", seed=0).fingerprint()
+    fp1 = WorkloadFactory("axpy", seed=1).fingerprint()
+    assert result_key(m, fp0, "BLOCK", **kw) != result_key(m, fp1, "BLOCK", **kw)
+    monkeypatch.setenv(BENCH_SCALE_ENV, "0.008")
+    fp_scaled = WorkloadFactory("axpy", seed=0).fingerprint()
+    assert result_key(m, fp0, "BLOCK", **kw) != result_key(
+        m, fp_scaled, "BLOCK", **kw
+    )
+
+
+def test_key_sensitive_to_policy_cutoff_and_engine_flags():
+    m = gpu4_node()
+    fp = WorkloadFactory("axpy").fingerprint()
+    base = result_key(m, fp, "BLOCK", cutoff_ratio=0.0, seed=0, verify=True)
+    assert base != result_key(
+        m, fp, "SCHED_DYNAMIC", cutoff_ratio=0.0, seed=0, verify=True
+    )
+    assert base != result_key(
+        m, fp, "BLOCK", cutoff_ratio=0.15, seed=0, verify=True
+    )
+    assert base != result_key(
+        m, fp, "BLOCK", cutoff_ratio=0.0, seed=0, verify=True,
+        engine_flags={"double_buffer": False},
+    )
+
+
+# --------------------------------------------------------- hit / miss
+
+
+def test_run_cell_hits_cache_on_repeat():
+    m = gpu4_node()
+    f = WorkloadFactory("axpy")
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK")) == 1
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK")) == 0
+    stats = get_cache().stats
+    assert stats.mem_hits == 1 and stats.misses == 1 and stats.puts == 1
+
+
+def test_cached_result_is_bit_identical():
+    m = gpu4_node()
+    f = WorkloadFactory("sum")
+    r1 = run_cell(m, f, "SCHED_DYNAMIC")
+    r2 = run_cell(m, f, "SCHED_DYNAMIC")
+    assert r2.total_time_s == r1.total_time_s
+    assert r2.reduction == r1.reduction
+    assert [t.busy_s for t in r2.traces] == [t.busy_s for t in r1.traces]
+
+
+def test_cache_hit_returns_isolated_copy():
+    m = gpu4_node()
+    f = WorkloadFactory("sum")
+    r1 = run_cell(m, f, "BLOCK")
+    r1.reduction = 0.0  # caller mutates its copy...
+    r2 = run_cell(m, f, "BLOCK")
+    assert r2.reduction != 0.0  # ...without poisoning the cache
+
+
+def test_cache_off_disables_everything(monkeypatch):
+    monkeypatch.setenv(CACHE_ENV, "off")
+    reset_cache()
+    assert cache_mode() == "off"
+    m = gpu4_node()
+    f = WorkloadFactory("axpy")
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK")) == 1
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK")) == 1
+    stats = get_cache().stats
+    assert stats.mem_hits == 0 and stats.puts == 0
+
+
+def test_anonymous_factories_are_never_cached():
+    from repro.kernels.registry import make_kernel
+
+    m = gpu4_node()
+    factory = lambda: make_kernel("axpy", 400)  # noqa: E731
+    assert _runs_for(lambda: run_cell(m, factory, "BLOCK")) == 1
+    assert _runs_for(lambda: run_cell(m, factory, "BLOCK")) == 1
+
+
+def test_run_grid_serves_repeat_from_cache():
+    m = gpu4_node()
+    ks = {"axpy": WorkloadFactory("axpy"), "sum": WorkloadFactory("sum")}
+    pols = ("BLOCK", "SCHED_DYNAMIC")
+    g1_runs = _runs_for(lambda: run_grid(m, ks, policies=pols))
+    assert g1_runs == 4
+    assert _runs_for(lambda: run_grid(m, ks, policies=pols)) == 0
+
+
+def test_grid_and_cell_share_keys():
+    """table5's no-cutoff cells reuse fig9's grid cells — same key space."""
+    m = gpu4_node()
+    f = WorkloadFactory("matvec")
+    run_grid(m, {"matvec": f}, policies=("MODEL_1_AUTO",))
+    assert _runs_for(lambda: run_cell(m, f, "MODEL_1_AUTO")) == 0
+
+
+# ---------------------------------------------------------- disk layer
+
+
+def test_disk_layer_survives_memory_reset(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_ENV, "on")
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "disk"))
+    reset_cache()
+    m = gpu4_node()
+    f = WorkloadFactory("axpy")
+    r1 = run_cell(m, f, "BLOCK")
+    assert (tmp_path / "disk").exists()
+    reset_cache()  # drop the in-memory layer, keep the directory
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK")) == 0
+    assert get_cache().stats.disk_hits == 1
+    r2 = run_cell(m, f, "BLOCK")
+    assert r2.total_time_s == r1.total_time_s
+
+
+def test_corrupt_disk_entry_is_a_miss(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_ENV, "on")
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "disk"))
+    reset_cache()
+    m = gpu4_node()
+    f = WorkloadFactory("axpy")
+    run_cell(m, f, "BLOCK")
+    for p in (tmp_path / "disk").rglob("*.pkl"):
+        p.write_bytes(b"not a pickle")
+    reset_cache()
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK")) == 1
+
+
+def test_mem_mode_never_touches_disk(tmp_path):
+    # autouse fixture sets CACHE_ENV=mem, so the disk layer must stay cold
+    cache = SweepCache(directory=tmp_path / "never")
+    m = gpu4_node()
+    run_cell(m, WorkloadFactory("axpy"), "BLOCK", cache=cache)
+    run_cell(m, WorkloadFactory("axpy"), "BLOCK", cache=cache)
+    assert not (tmp_path / "never").exists()
+    assert cache.stats.mem_hits == 1
+
+
+# ------------------------------------------------ derived-figure reuse
+
+
+def test_fig6_derives_from_fig5_grid():
+    from repro.bench.figures import fig5_gpu4, fig6_breakdown
+
+    fig5_runs = _runs_for(fig5_gpu4)
+    assert fig5_runs == 6 * 7
+    assert _runs_for(fig6_breakdown) == 0  # entirely served from fig5's cells
+
+
+def test_table5_derives_from_fig9_cells():
+    from repro.bench.figures import fig9_full_node, table5_cutoff
+
+    fig9_runs = _runs_for(fig9_full_node)
+    assert fig9_runs == 6 * 7 + 6 * 4  # grid + cutoff column
+    assert _runs_for(table5_cutoff) == 0  # both r0 and r1 hit fig9's keys

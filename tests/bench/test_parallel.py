@@ -1,0 +1,108 @@
+"""Parallel grid runner: bit-identical to serial, deterministic ordering,
+graceful fallback for unpicklable factories."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.cache import CACHE_ENV, reset_cache
+from repro.bench.runner import WORKERS_ENV, _default_workers, run_grid
+from repro.bench.workloads import BENCH_SCALE_ENV, WorkloadFactory
+from repro.engine.trace import OffloadResult
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import gpu4_node
+
+POLICIES = ("BLOCK", "SCHED_DYNAMIC", "MODEL_1_AUTO")
+
+
+@pytest.fixture(autouse=True)
+def tiny_uncached(monkeypatch):
+    monkeypatch.setenv(BENCH_SCALE_ENV, "0.004")
+    monkeypatch.setenv(CACHE_ENV, "off")
+    reset_cache()
+    yield
+    reset_cache()
+
+
+def _assert_results_identical(a: OffloadResult, b: OffloadResult) -> None:
+    assert a.total_time_s == b.total_time_s
+    assert a.reduction == b.reduction
+    assert a.algorithm == b.algorithm
+    assert len(a.traces) == len(b.traces)
+    for ta, tb in zip(a.traces, b.traces):
+        assert ta.name == tb.name
+        assert ta.compute_s == tb.compute_s
+        assert ta.xfer_in_s == tb.xfer_in_s
+        assert ta.xfer_out_s == tb.xfer_out_s
+        assert ta.chunks == tb.chunks
+        assert ta.iters == tb.iters
+
+
+def test_parallel_grid_matches_serial_cell_for_cell():
+    machine = gpu4_node()
+    ks = {n: WorkloadFactory(n) for n in ("axpy", "sum", "stencil")}
+    serial = run_grid(machine, ks, policies=POLICIES, workers=0)
+    parallel = run_grid(machine, ks, policies=POLICIES, workers=4)
+    assert list(serial.results) == list(parallel.results)
+    for kname in ks:
+        assert list(serial.results[kname]) == list(parallel.results[kname])
+        for policy in POLICIES:
+            _assert_results_identical(
+                serial.results[kname][policy], parallel.results[kname][policy]
+            )
+
+
+def test_parallel_grid_populates_cache(monkeypatch):
+    from repro.bench.runner import engine_run_count
+
+    monkeypatch.setenv(CACHE_ENV, "mem")
+    reset_cache()
+    machine = gpu4_node()
+    ks = {"axpy": WorkloadFactory("axpy")}
+    before = engine_run_count()
+    run_grid(machine, ks, policies=POLICIES, workers=2)
+    # cells ran in pool workers, not this process...
+    assert engine_run_count() == before
+    # ...but the parent stored their results, so the repeat is free
+    run_grid(machine, ks, policies=POLICIES, workers=0)
+    assert engine_run_count() == before
+
+
+def test_lambda_factories_fall_back_to_serial():
+    machine = gpu4_node()
+    grid = run_grid(
+        machine,
+        {"axpy": lambda: make_kernel("axpy", 400)},
+        policies=("BLOCK",),
+        workers=4,
+    )
+    assert grid.time_ms("axpy", "BLOCK") > 0
+
+
+def test_workers_env_default(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert _default_workers() == 0
+    monkeypatch.setenv(WORKERS_ENV, "3")
+    assert _default_workers() == 3
+    monkeypatch.setenv(WORKERS_ENV, "junk")
+    assert _default_workers() == 0
+    monkeypatch.setenv(WORKERS_ENV, "-2")
+    assert _default_workers() == 0
+
+
+def test_worker_thread_pins_are_exported():
+    from repro.bench.runner import _pin_worker_threads
+
+    saved = {k: os.environ.get(k) for k in ("OMP_NUM_THREADS",)}
+    try:
+        os.environ.pop("OMP_NUM_THREADS", None)
+        _pin_worker_threads()
+        assert os.environ["OMP_NUM_THREADS"] == "1"
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v

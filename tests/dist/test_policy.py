@@ -1,0 +1,124 @@
+"""Table I distribution policies and the policy token parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dist.policy import Align, Auto, Block, Cyclic, Full, parse_policy
+from repro.errors import DirectiveSyntaxError, DistributionError
+from repro.util.ranges import IterRange
+
+
+class TestFull:
+    def test_replicates(self):
+        parts = Full().split(IterRange(0, 10), 3)
+        assert len(parts) == 3
+        assert all(p == [IterRange(0, 10)] for p in parts)
+
+    def test_invalid_ndev(self):
+        with pytest.raises(DistributionError):
+            Full().split(IterRange(0, 10), 0)
+
+
+class TestBlock:
+    def test_contiguous_blocks(self):
+        parts = Block().split(IterRange(0, 10), 4)
+        assert [p[0] for p in parts] == [
+            IterRange(0, 3), IterRange(3, 6), IterRange(6, 8), IterRange(8, 10)
+        ]
+
+    def test_str(self):
+        assert str(Block()) == "BLOCK"
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        parts = Cyclic(2).split(IterRange(0, 10), 2)
+        assert parts[0] == [IterRange(0, 2), IterRange(4, 6), IterRange(8, 10)]
+        assert parts[1] == [IterRange(2, 4), IterRange(6, 8)]
+
+    def test_covers_exactly(self):
+        parts = Cyclic(3).split(IterRange(0, 11), 4)
+        total = sum(len(r) for dev in parts for r in dev)
+        assert total == 11
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(DistributionError):
+            Cyclic(0)
+
+    def test_str(self):
+        assert str(Cyclic()) == "CYCLIC"
+        assert str(Cyclic(4)) == "CYCLIC(4)"
+
+    @given(
+        n=st.integers(0, 500),
+        chunk=st.integers(1, 17),
+        ndev=st.integers(1, 9),
+    )
+    def test_property_disjoint_cover(self, n, chunk, ndev):
+        parts = Cyclic(chunk).split(IterRange(0, n), ndev)
+        seen = set()
+        for dev in parts:
+            for r in dev:
+                for i in r:
+                    assert i not in seen
+                    seen.add(i)
+        assert seen == set(range(n))
+
+
+class TestAlignAuto:
+    def test_align_needs_graph(self):
+        with pytest.raises(DistributionError):
+            Align("x").split(IterRange(0, 10), 2)
+
+    def test_auto_needs_scheduler(self):
+        with pytest.raises(DistributionError):
+            Auto().split(IterRange(0, 10), 2)
+
+    def test_align_validation(self):
+        with pytest.raises(DistributionError):
+            Align("")
+        with pytest.raises(DistributionError):
+            Align("x", ratio=0)
+
+    def test_needs_runtime_flags(self):
+        assert Align("x").needs_runtime
+        assert Auto().needs_runtime
+        assert not Block().needs_runtime
+        assert not Full().needs_runtime
+
+    def test_str_forms(self):
+        assert str(Align("x")) == "ALIGN(x)"
+        assert str(Align("x", 2.0)) == "ALIGN(x,2)"
+        assert str(Auto()) == "AUTO"
+
+
+class TestParsePolicy:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("FULL", Full()),
+            ("full", Full()),
+            ("BLOCK", Block()),
+            (" block ", Block()),
+            ("AUTO", Auto()),
+            ("CYCLIC", Cyclic()),
+            ("CYCLIC(8)", Cyclic(8)),
+            ("ALIGN(x)", Align("x")),
+            ("ALIGN(loop1)", Align("loop1")),
+            ("align(x, 2.0)", Align("x", 2.0)),
+            ("ALIGN(x,0.5)", Align("x", 0.5)),
+        ],
+    )
+    def test_valid_tokens(self, text, expected):
+        assert parse_policy(text) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["", "BLOK", "ALIGN()", "ALIGN(1x)", "CYCLIC(-1)", "ALIGN(x" ]
+    )
+    def test_invalid_tokens(self, text):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_policy(text)
+
+    def test_round_trip_via_str(self):
+        for p in (Full(), Block(), Auto(), Cyclic(4), Align("u", 2.0)):
+            assert parse_policy(str(p)) == p

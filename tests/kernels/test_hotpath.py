@@ -1,0 +1,198 @@
+"""Hot-path caching in LoopKernel: per-kernel cost constants (no map scan
+per chunk_cost call), staging-buffer reuse, and the shared input pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist.policy import Block
+from repro.kernels.axpy import AxpyKernel
+from repro.kernels.matvec import MatVecKernel
+from repro.kernels.pool import (
+    INPUT_POOL_ENV,
+    clear_pool,
+    pool_enabled,
+    pool_stats,
+    pooled_inputs,
+)
+from repro.kernels.registry import make_kernel
+from repro.util.ranges import IterRange
+
+
+# ------------------------------------------------- cost-constant cache
+
+
+def _count_map_scans(kernel, fn):
+    """How many times ``fn`` walks the kernel's effective maps."""
+    calls = 0
+    original = kernel.effective_maps
+
+    def counting():
+        nonlocal calls
+        calls += 1
+        return original()
+
+    kernel.effective_maps = counting
+    try:
+        fn()
+    finally:
+        del kernel.effective_maps
+    return calls
+
+
+def test_chunk_cost_scan_count_independent_of_call_count():
+    """Map scans are a per-rebuild constant, not once per chunk_cost call."""
+    k = MatVecKernel(64)
+    many = _count_map_scans(
+        k, lambda: [k.chunk_cost(IterRange(0, 8)) for _ in range(1000)]
+    )
+    assert many <= 4  # one cache rebuild (in/out/replicated), not per call
+
+
+def test_chunk_cost_scan_amortised_after_warmup():
+    k = AxpyKernel(500)
+    k.chunk_cost(IterRange(0, 10))  # warm the constant cache
+    assert _count_map_scans(
+        k, lambda: [k.chunk_cost(IterRange(0, 10)) for _ in range(100)]
+    ) == 0
+
+
+def test_resident_change_invalidates_cost_cache():
+    k = MatVecKernel(64)
+    base = k.chunk_cost(IterRange(0, 8))
+    k.resident = frozenset({"A", "x", "y"})
+    assert k.chunk_cost(IterRange(0, 8)).xfer_in_bytes == 0.0
+    k.resident = frozenset()
+    again = k.chunk_cost(IterRange(0, 8))
+    assert again.xfer_in_bytes == base.xfer_in_bytes
+    assert again.replicated_in_bytes == base.replicated_in_bytes
+
+
+def test_set_partition_invalidates_cost_cache():
+    k = AxpyKernel(500)
+    k.chunk_cost(IterRange(0, 10))  # warm
+    k.set_partition("x", Block())
+    # a fresh scan must happen to pick up the override
+    assert _count_map_scans(k, lambda: k.chunk_cost(IterRange(0, 10))) >= 1
+
+
+def test_replicated_in_bytes_served_from_cache():
+    k = MatVecKernel(64)
+    assert k.replicated_in_bytes() == 64 * 8  # warms the cache
+    assert _count_map_scans(k, k.replicated_in_bytes) == 0
+
+
+# ---------------------------------------------------- staging reuse
+
+
+def test_discrete_staging_output_identical_to_fresh_buffers():
+    """Running chunks through reused (dirty) staging equals a fresh run."""
+    a = make_kernel("matmul", 24, seed=3)
+    b = make_kernel("matmul", 24, seed=3)
+    # a: one pass; b: a preceding pass dirties the staging buffers first
+    b.execute_chunk(IterRange(0, 24), shared=False)
+    b.arrays["C"][:] = 0.0
+    for lo in range(0, 24, 6):
+        a.execute_chunk(IterRange(lo, lo + 6), shared=False)
+        b.execute_chunk(IterRange(lo, lo + 6), shared=False)
+    np.testing.assert_array_equal(a.arrays["C"], b.arrays["C"])
+
+
+def test_shared_and_discrete_paths_agree():
+    a = make_kernel("stencil", 48, seed=1)
+    b = make_kernel("stencil", 48, seed=1)
+    for lo in range(0, 48, 12):
+        a.execute_chunk(IterRange(lo, lo + 12), shared=True)
+        b.execute_chunk(IterRange(lo, lo + 12), shared=False)
+    np.testing.assert_array_equal(a.arrays["u_out"], b.arrays["u_out"])
+
+
+def test_staging_buffer_is_reused_not_reallocated():
+    k = make_kernel("stencil", 48, seed=1)
+    k.execute_chunk(IterRange(0, 24), shared=False)
+    first = dict(k._staging)
+    assert first  # the discrete path actually staged something
+    k.execute_chunk(IterRange(24, 48), shared=False)
+    for name, buf in k._staging.items():
+        assert buf is first[name], f"staging for {name!r} was reallocated"
+
+
+def test_staging_grows_for_larger_chunks():
+    k = make_kernel("axpy", 1000, seed=1)
+    k.execute_chunk(IterRange(0, 10), shared=False)
+    small = k._staging["x"].size
+    k.execute_chunk(IterRange(0, 800), shared=False)
+    assert k._staging["x"].size >= 800 > small
+
+
+def test_shared_path_allocates_no_staging():
+    k = make_kernel("axpy", 200, seed=1)
+    k.execute_chunk(IterRange(0, 200), shared=True)
+    assert k._staging == {}
+
+
+# -------------------------------------------------------- input pool
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    clear_pool()
+    yield
+    clear_pool()
+
+
+def test_pool_enabled_by_default(monkeypatch):
+    monkeypatch.delenv(INPUT_POOL_ENV, raising=False)
+    assert pool_enabled()
+    monkeypatch.setenv(INPUT_POOL_ENV, "off")
+    assert not pool_enabled()
+
+
+def test_pooled_kernels_share_one_generation():
+    make_kernel("matvec", 64, seed=7)
+    stats = pool_stats()
+    assert stats["misses"] == 1
+    make_kernel("matvec", 64, seed=7)
+    stats = pool_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1
+
+
+def test_pooled_copies_are_independent():
+    k1 = make_kernel("axpy", 200, seed=5)
+    k2 = make_kernel("axpy", 200, seed=5)
+    assert k1.arrays["x"] is not k2.arrays["x"]
+    np.testing.assert_array_equal(k1.arrays["x"], k2.arrays["x"])
+    k1.arrays["y"][:] = -1.0
+    assert not np.array_equal(k1.arrays["y"], k2.arrays["y"])
+
+
+def test_pooled_inputs_match_direct_generation():
+    """Pool on/off must produce the same RNG streams."""
+    pooled = make_kernel("bm", 48, seed=9)
+    clear_pool()
+    base = pooled_inputs(
+        ("probe", 1), lambda: {"z": np.random.default_rng(0).random(4)}
+    )
+    assert base["z"].flags.writeable  # caller gets a writable copy
+    direct = np.random.default_rng(0).random(4)
+    np.testing.assert_array_equal(base["z"], direct)
+    fresh = make_kernel("bm", 48, seed=9)
+    for name in ("frame1", "frame2"):
+        np.testing.assert_array_equal(pooled.arrays[name], fresh.arrays[name])
+
+
+def test_pool_disabled_still_correct(monkeypatch):
+    monkeypatch.setenv(INPUT_POOL_ENV, "off")
+    clear_pool()
+    k1 = make_kernel("sum", 300, seed=2)
+    k2 = make_kernel("sum", 300, seed=2)
+    np.testing.assert_array_equal(k1.arrays["x"], k2.arrays["x"])
+    assert pool_stats()["hits"] == 0
+
+
+def test_pool_key_includes_size_and_seed():
+    make_kernel("axpy", 100, seed=0)
+    make_kernel("axpy", 100, seed=1)
+    make_kernel("axpy", 200, seed=0)
+    assert pool_stats()["misses"] == 3

@@ -24,11 +24,22 @@ from repro.errors import (
     DeviceError,
     DirectiveSyntaxError,
     DistributionError,
+    FaultError,
+    FaultPlanError,
     HompError,
     MachineSpecError,
     MappingError,
     OffloadError,
     SchedulingError,
+)
+from repro.faults import (
+    ChunkFault,
+    DeviceDropout,
+    FaultPlan,
+    ResiliencePolicy,
+    RetryPolicy,
+    Slowdown,
+    TransferError,
 )
 from repro.kernels import (
     AxpyKernel,
@@ -68,7 +79,7 @@ from repro.sched import (
 from repro.dist import Align, Auto, Block, Cyclic, Full, parse_policy
 from repro.lang import parse_device_clause, parse_directive
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -86,6 +97,16 @@ __all__ = [
     "AlignmentError",
     "SchedulingError",
     "OffloadError",
+    "FaultPlanError",
+    "FaultError",
+    # faults
+    "FaultPlan",
+    "Slowdown",
+    "TransferError",
+    "DeviceDropout",
+    "ChunkFault",
+    "RetryPolicy",
+    "ResiliencePolicy",
     # kernels
     "LoopKernel",
     "MapSpec",

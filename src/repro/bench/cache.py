@@ -34,6 +34,8 @@ from typing import Any, Mapping
 
 from repro import __version__
 from repro.engine.trace import OffloadResult
+from repro.faults.plan import FaultPlan, faults_enabled
+from repro.faults.policy import ResiliencePolicy
 from repro.machine.spec import MachineSpec
 
 __all__ = [
@@ -82,13 +84,18 @@ def result_key(
     seed: int = 0,
     verify: bool = True,
     engine_flags: Mapping[str, Any] | None = None,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> str:
     """Stable hex fingerprint of one sweep cell.
 
     ``workload_fp`` is the workload's identity mapping (name, scale, seed —
     see ``WorkloadFactory.fingerprint``).  Any change to any field of the
     machine spec, the workload identity, the policy, the cutoff, the seed,
-    or the engine flags yields a different key.
+    the engine flags, or the fault configuration yields a different key.
+    A cell run under a fault plan is a different experiment from the
+    fault-free cell, so the plan's canonical dict (and the resilience
+    policy's, when set) joins the payload.
     """
     payload = {
         "version": __version__,
@@ -100,6 +107,15 @@ def result_key(
         "verify": bool(verify),
         "engine": dict(engine_flags if engine_flags is not None else DEFAULT_ENGINE_FLAGS),
     }
+    # A plan only shapes the result while injection is live: an empty plan,
+    # or any plan under REPRO_FAULTS=off, keys identically to fault-free.
+    if fault_plan is not None and not fault_plan.empty and faults_enabled():
+        payload["faults"] = {
+            "plan": fault_plan.to_dict(),
+            "resilience": (
+                resilience.to_dict() if resilience is not None else None
+            ),
+        }
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -23,6 +23,8 @@ import numpy as np
 from repro.bench.cache import SweepCache, get_cache, result_key
 from repro.engine.trace import OffloadResult
 from repro.errors import OffloadError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
 from repro.kernels.base import LoopKernel
 from repro.machine.spec import MachineSpec
 from repro.runtime.runtime import HompRuntime
@@ -97,12 +99,22 @@ def run_one(
     cutoff_ratio: float = 0.0,
     seed: int = 0,
     verify: bool = True,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> OffloadResult:
-    """One kernel under one policy, verified."""
+    """One kernel under one policy, verified.
+
+    ``fault_plan``/``resilience`` inject deterministic faults into the run
+    (see :mod:`repro.faults`); verification still applies — a resilient
+    run must produce the same answer as the fault-free one.
+    """
     global _ENGINE_RUNS
     _ENGINE_RUNS += 1
     rt = HompRuntime(machine, seed=seed)
-    result = rt.parallel_for(kernel, schedule=policy, cutoff_ratio=cutoff_ratio)
+    result = rt.parallel_for(
+        kernel, schedule=policy, cutoff_ratio=cutoff_ratio,
+        fault_plan=fault_plan, resilience=resilience,
+    )
     if verify:
         verify_result(kernel, result)
     return result
@@ -116,6 +128,8 @@ def _cell_key(
     cutoff_ratio: float,
     seed: int,
     verify: bool,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> str | None:
     """Cache key for one cell, or None when the factory is anonymous.
 
@@ -133,6 +147,8 @@ def _cell_key(
         cutoff_ratio=cutoff_ratio,
         seed=seed,
         verify=verify,
+        fault_plan=fault_plan,
+        resilience=resilience,
     )
 
 
@@ -145,6 +161,8 @@ def run_cell(
     seed: int = 0,
     verify: bool = True,
     cache: SweepCache | None = None,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> OffloadResult:
     """One grid cell through the sweep cache.
 
@@ -158,6 +176,7 @@ def run_cell(
         _cell_key(
             machine, factory, policy,
             cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+            fault_plan=fault_plan, resilience=resilience,
         )
         if cache.enabled
         else None
@@ -169,6 +188,7 @@ def run_cell(
     result = run_one(
         machine, factory(), policy,
         cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+        fault_plan=fault_plan, resilience=resilience,
     )
     if key is not None:
         cache.put(key, result)
@@ -230,11 +250,14 @@ def _pool_cell(
     cutoff_ratio: float,
     seed: int,
     verify: bool,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> OffloadResult:
     """One cell in a pool worker (kernel built, run and verified there)."""
     return run_one(
         machine, factory(), policy,
         cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+        fault_plan=fault_plan, resilience=resilience,
     )
 
 
@@ -248,6 +271,8 @@ def run_grid(
     verify: bool = True,
     workers: int | None = None,
     cache: SweepCache | None = None,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> PolicyGrid:
     """Sweep kernel factories over policies.
 
@@ -276,6 +301,7 @@ def run_grid(
                 _cell_key(
                     machine, factory, policy,
                     cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+                    fault_plan=fault_plan, resilience=resilience,
                 )
                 if cache.enabled
                 else None
@@ -292,7 +318,8 @@ def run_grid(
         ) as pool:
             futures = [
                 pool.submit(
-                    _pool_cell, machine, factory, policy, cutoff_ratio, seed, verify
+                    _pool_cell, machine, factory, policy, cutoff_ratio,
+                    seed, verify, fault_plan, resilience,
                 )
                 for _, factory, policy, _ in pending
             ]
@@ -306,6 +333,7 @@ def run_grid(
             result = run_one(
                 machine, factory(), policy,
                 cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+                fault_plan=fault_plan, resilience=resilience,
             )
             if key is not None:
                 cache.put(key, result)

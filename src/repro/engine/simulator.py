@@ -22,22 +22,35 @@ cursor produces, but deterministically.  The kernel is executed
 numerically for every chunk (through the DeviceBuffer path), so the
 simulated timeline and the real numeric result come from the same chunk
 stream.
+
+When a :class:`~repro.faults.plan.FaultPlan` is attached, the engine
+consults it at each pipeline stage: slowdowns scale stage durations,
+transfer errors cost bounded retries with backoff (in virtual time), and
+dropouts remove a device permanently.  A chunk counts as covered — and is
+executed numerically — only if its whole pipeline succeeds, so the numeric
+result of a survivable faulted run matches the fault-free one; lost chunks
+are reassigned to the surviving devices through the scheduler's
+``requeue``/``device_lost`` hooks or an engine-level orphan queue.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.engine.events import ChunkEvent, Timeline
 from repro.engine.trace import DeviceTrace, OffloadResult
-from repro.errors import OffloadError
+from repro.errors import FaultError, OffloadError
+from repro.faults.events import ChunkFault, FaultKind
+from repro.faults.plan import FaultPlan, faults_enabled
+from repro.faults.policy import HealthTracker, ResiliencePolicy
 from repro.kernels.base import LoopKernel
 from repro.machine.device import Device
 from repro.machine.spec import MachineSpec, MemoryKind
 from repro.memory.unified import UnifiedMemoryModel
 from repro.sched.base import BARRIER, LoopScheduler, SchedContext
-from repro.util.ranges import IterRange
+from repro.util.ranges import IterRange, split_block
 
 __all__ = ["OffloadEngine"]
 
@@ -53,6 +66,7 @@ class _DevState:
     first_chunk: bool = True
     done: bool = False
     at_barrier: float | None = None
+    lost: bool = False  # permanently dead (dropout or quarantine)
 
 
 @dataclass
@@ -75,8 +89,14 @@ class OffloadEngine:
     #: Cost model for devices with UNIFIED memory (paper §V.C): shared
     #: semantics, but pages migrate over the bus at driver speed.
     unified_model: UnifiedMemoryModel = field(default_factory=UnifiedMemoryModel)
+    #: Faults to inject (None or an empty plan = fault-free run; the
+    #: REPRO_FAULTS env switch can disable any plan globally).
+    fault_plan: FaultPlan | None = None
+    #: Retry/quarantine behaviour under the fault plan.
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     _chunk_log: list[tuple[int, IterRange]] = field(default_factory=list)
     _events: list[ChunkEvent] = field(default_factory=list)
+    _faults: list[ChunkFault] = field(default_factory=list)
 
     def run(
         self,
@@ -94,6 +114,14 @@ class OffloadEngine:
         scheduler.start(ctx)
         self._chunk_log.clear()
         self._events.clear()
+        self._faults.clear()
+
+        plan = self.fault_plan
+        plan_active = plan is not None and not plan.empty and faults_enabled()
+        retry = self.resilience.retry
+        health = HealthTracker(self.resilience.quarantine_after)
+        xfer_attempts: dict[int, int] = {}  # per-device monotonic counters
+        orphans: deque[IterRange] = deque()
 
         states = [
             _DevState(device=d, trace=DeviceTrace(devid=d.devid, name=d.name))
@@ -110,9 +138,6 @@ class OffloadEngine:
         heap: list[tuple[float, int]] = [(0.0, d.devid) for d in devices]
         heapq.heapify(heap)
 
-        def active_ids() -> list[int]:
-            return [s.device.devid for s in states if not s.done]
-
         def release_barrier() -> None:
             waiting = [s for s in states if s.at_barrier is not None]
             t_rel = max(s.at_barrier for s in waiting)  # type: ignore[type-var]
@@ -122,12 +147,125 @@ class OffloadEngine:
                 heapq.heappush(heap, (t_rel, s.device.devid))
             scheduler.at_barrier()
 
+        def emit(
+            kind: FaultKind,
+            st: _DevState,
+            t_f: float,
+            *,
+            chunk: IterRange | None = None,
+            stage: str = "",
+            detail: str = "",
+        ) -> None:
+            self._faults.append(
+                ChunkFault(
+                    kind=kind,
+                    devid=st.device.devid,
+                    device_name=st.device.name,
+                    t=t_f,
+                    chunk=chunk,
+                    stage=stage,
+                    detail=detail,
+                )
+            )
+
+        def add_orphan(chunk: IterRange, t_now: float) -> None:
+            """Reassign a lost chunk to the survivors and wake idle ones."""
+            alive = [s for s in states if not s.lost]
+            if not alive:
+                orphans.append(chunk)  # unrecoverable; reported at the end
+                return
+            if not scheduler.requeue(chunk):
+                orphans.extend(
+                    p for p in split_block(chunk, len(alive)) if not p.empty
+                )
+            for s in alive:
+                if s.done:  # drained earlier; there is work again
+                    s.done = False
+                    heapq.heappush(heap, (max(t_now, s.finish), s.device.devid))
+
+        def mark_lost(
+            st: _DevState,
+            t_lost: float,
+            kind: FaultKind,
+            *,
+            chunk: IterRange | None = None,
+            detail: str = "",
+        ) -> None:
+            st.lost = True
+            st.done = True
+            st.trace.lost_at = t_lost
+            emit(kind, st, t_lost, chunk=chunk, detail=detail)
+            for reserved in scheduler.device_lost(st.device.devid):
+                add_orphan(reserved, t_lost)
+            # The dead device can no longer hold up a barrier.
+            pending = [s for s in states if not s.done and s.at_barrier is None]
+            waiting = [s for s in states if s.at_barrier is not None]
+            if not pending and waiting:
+                release_barrier()
+
+        def transfer_attempts(
+            st: _DevState,
+            chunk: IterRange,
+            direction: str,
+            t_x: float,
+            start_t: float,
+        ) -> tuple[float, int, bool]:
+            """Outcome of one (possibly retried) transfer.
+
+            Returns ``(pad_s, retried, ok)``: virtual time wasted on failed
+            attempts and backoffs, the number of retried attempts, and
+            whether a transfer eventually went through.  Draws come from
+            the plan's counter-based hash keyed on a per-device monotonic
+            attempt counter, so a re-served chunk faces fresh draws.
+            """
+            if not plan_active or t_x <= 0.0:
+                return 0.0, 0, True
+            devid = st.device.devid
+            pad = 0.0
+            fails = 0
+            while True:
+                n = xfer_attempts.get(devid, 0)
+                xfer_attempts[devid] = n + 1
+                if not plan.transfer_fails(devid, n, direction):
+                    return pad, fails, True
+                pad += t_x  # the failed attempt still occupied the link
+                fails += 1
+                if fails > retry.max_retries:
+                    emit(
+                        FaultKind.TRANSFER_FAIL,
+                        st,
+                        start_t + pad,
+                        chunk=chunk,
+                        stage=direction,
+                        detail=f"gave up after {fails} attempts",
+                    )
+                    return pad, fails - 1, False
+                emit(
+                    FaultKind.RETRY,
+                    st,
+                    start_t + pad,
+                    chunk=chunk,
+                    stage=direction,
+                    detail=f"attempt {fails} failed",
+                )
+                pad += retry.backoff(fails - 1)
+
         while heap:
             t, devid = heapq.heappop(heap)
             st = states[devid]
             if st.done:
                 continue
+            drop_t = plan.dropout_t(devid) if plan_active else None
+            if drop_t is not None and t >= drop_t:
+                mark_lost(
+                    st, drop_t, FaultKind.DROPOUT, detail="lost while idle"
+                )
+                continue
             decision = scheduler.next(devid)
+
+            if decision is None and orphans:
+                # Scheduler is drained but lost work remains: adopt it.
+                decision = orphans.popleft()
 
             if decision is None:
                 st.done = True
@@ -152,9 +290,6 @@ class OffloadEngine:
                 raise OffloadError(
                     f"{scheduler.notation} handed an empty chunk to device {devid}"
                 )
-            covered += len(chunk)
-            if self.collect_chunks:
-                self._chunk_log.append((devid, chunk))
 
             spec = st.device.spec
             cost = kernel.chunk_cost(chunk)
@@ -185,25 +320,87 @@ class OffloadEngine:
                 in_start = max(in_start, dispatch_free)
             if group is not None:
                 in_start = max(in_start, group_free.get(group, 0.0))
-            in_end = in_start + t_in
+            if plan_active:
+                t_in *= plan.slowdown_factor(devid, in_start)
+            pad_in, retries_in, in_ok = transfer_attempts(
+                st, chunk, "in", t_in, in_start
+            )
+            in_end = in_start + pad_in + t_in if in_ok else in_start + pad_in
             if self.serialize_offload:
                 dispatch_free = in_end
-            if group is not None and t_in > 0:
+            if group is not None and in_end > in_start:
                 group_free[group] = in_end
             comp_prev_end = st.comp_free
-            comp_start = max(in_end, st.comp_free)
-            comp_end = comp_start + t_comp
-            out_start = max(comp_end, st.copy_out_free)
-            if group is not None:
-                out_start = max(out_start, group_free.get(group, 0.0))
-            out_end = out_start + t_out
-            if group is not None and t_out > 0:
-                group_free[group] = out_end
+            if in_ok:
+                comp_start = max(in_end, st.comp_free)
+                if plan_active:
+                    t_comp *= plan.slowdown_factor(devid, comp_start)
+                comp_end = comp_start + t_comp
+                out_start = max(comp_end, st.copy_out_free)
+                if group is not None:
+                    out_start = max(out_start, group_free.get(group, 0.0))
+                if plan_active:
+                    t_out *= plan.slowdown_factor(devid, out_start)
+                pad_out, retries_out, out_ok = transfer_attempts(
+                    st, chunk, "out", t_out, out_start
+                )
+                out_end = (
+                    out_start + pad_out + t_out if out_ok
+                    else out_start + pad_out
+                )
+                if group is not None and out_end > out_start:
+                    group_free[group] = out_end
+            else:
+                # Copy-in never succeeded: compute and copy-out don't run.
+                comp_start = comp_end = in_end
+                out_start = out_end = in_end
+                pad_out, retries_out, out_ok = 0.0, 0, True
+
+            dropped = (
+                drop_t is not None and out_end > drop_t
+            )  # the device dies before this chunk's outputs return
+            ok = in_ok and out_ok and not dropped
+            retried = retries_in + retries_out
+            tr = st.trace
+
+            if dropped:
+                tr.faults += 1
+                if self.record_events:
+                    self._events.append(
+                        ChunkEvent(
+                            devid=devid,
+                            device_name=st.device.name,
+                            chunk=chunk,
+                            acquire_t=t,
+                            in_start=min(in_start, drop_t),
+                            in_end=min(in_end, drop_t),
+                            comp_start=min(comp_start, drop_t),
+                            comp_end=min(comp_end, drop_t),
+                            out_start=min(out_start, drop_t),
+                            out_end=min(out_end, drop_t),
+                            status="dropped",
+                            retries=retried,
+                        )
+                    )
+                mark_lost(
+                    st,
+                    drop_t,
+                    FaultKind.DROPOUT,
+                    chunk=chunk,
+                    detail="chunk in flight was lost",
+                )
+                add_orphan(chunk, drop_t)
+                continue
 
             st.copy_in_free = in_end
             st.comp_free = comp_end
             st.copy_out_free = out_end
             st.finish = max(st.finish, out_end)
+
+            tr.setup_s += t_setup
+            tr.sched_s += t_sched
+            tr.retry_s += pad_in + pad_out
+            tr.retries += retried
 
             if self.record_events:
                 self._events.append(
@@ -218,17 +415,46 @@ class OffloadEngine:
                         comp_end=comp_end,
                         out_start=out_start,
                         out_end=out_end,
+                        status="ok" if ok else "failed",
+                        retries=retried,
                     )
                 )
 
-            tr = st.trace
-            tr.setup_s += t_setup
-            tr.sched_s += t_sched
+            if not ok:
+                # Transfer retries exhausted: the chunk is lost (its outputs
+                # never returned), the device stays alive unless its fault
+                # streak quarantines it.
+                tr.faults += 1
+                if in_ok:  # copy-in and compute did happen
+                    tr.xfer_in_s += t_in
+                    tr.compute_s += t_comp
+                add_orphan(chunk, out_end)
+                if health.record_failure(devid):
+                    mark_lost(
+                        st,
+                        out_end,
+                        FaultKind.QUARANTINE,
+                        chunk=chunk,
+                        detail=(
+                            f"{health.consecutive_faults(devid)} consecutive "
+                            "chunk faults"
+                        ),
+                    )
+                else:
+                    # Pipeline state is torn down; resume serially.
+                    heapq.heappush(heap, (out_end, devid))
+                continue
+
+            covered += len(chunk)
+            if self.collect_chunks:
+                self._chunk_log.append((devid, chunk))
             tr.xfer_in_s += t_in
             tr.xfer_out_s += t_out
             tr.compute_s += t_comp
             tr.chunks += 1
             tr.iters += len(chunk)
+            if plan_active:
+                health.record_success(devid)
 
             if self.execute_numerically:
                 partial = kernel.execute_chunk(
@@ -254,6 +480,14 @@ class OffloadEngine:
             heapq.heappush(heap, (next_req, devid))
 
         if covered != kernel.n_iters:
+            lost = [s.device.name for s in states if s.lost]
+            if plan_active and lost:
+                raise FaultError(
+                    f"{scheduler.notation} covered {covered} of "
+                    f"{kernel.n_iters} iterations; devices lost: "
+                    f"{', '.join(lost)}; {len(orphans)} orphaned chunks "
+                    "were never adopted"
+                )
             raise OffloadError(
                 f"{scheduler.notation} covered {covered} of {kernel.n_iters} "
                 "iterations"
@@ -262,17 +496,32 @@ class OffloadEngine:
         participating = [s for s in states if s.trace.participated]
         total = max((s.finish for s in participating), default=0.0)
         for s in participating:
-            # Closing barrier: everyone waits for the slowest device.
-            s.trace.barrier_s += total - s.finish
+            # Closing barrier: everyone alive waits for the slowest device
+            # (lost devices never rejoin).
+            if not s.lost:
+                s.trace.barrier_s += total - s.finish
             s.trace.finish_s = s.finish
 
+        meta: dict = {"seed": self.seed, "machine": self.machine.name}
+        if plan_active:
+            meta["faults"] = {
+                "plan": plan.describe(),
+                "events": len(self._faults),
+                "retries": sum(
+                    1 for f in self._faults if f.kind is FaultKind.RETRY
+                ),
+                "lost": sorted(s.device.name for s in states if s.lost),
+                "quarantined": sorted(
+                    states[d].device.name for d in health.quarantined
+                ),
+            }
         return OffloadResult(
             kernel_name=kernel.name,
             algorithm=scheduler.describe(),
             total_time_s=total,
             traces=[s.trace for s in states],
             reduction=reduction if kernel.is_reduction else None,
-            meta={"seed": self.seed, "machine": self.machine.name},
+            meta=meta,
         )
 
     @property
@@ -283,4 +532,9 @@ class OffloadEngine:
     @property
     def timeline(self) -> Timeline:
         """Chunk-event timeline of the last run (record_events=True)."""
-        return Timeline(events=list(self._events))
+        return Timeline(events=list(self._events), faults=list(self._faults))
+
+    @property
+    def faults(self) -> list[ChunkFault]:
+        """Fault occurrences of the last run (empty for fault-free runs)."""
+        return list(self._faults)

@@ -31,10 +31,18 @@ class DeviceTrace:
     chunks: int = 0
     iters: int = 0
     finish_s: float = 0.0  # when this device's pipeline drained
+    retry_s: float = 0.0   # virtual time lost to transfer retries/backoff
+    retries: int = 0       # transfer retries survived
+    faults: int = 0        # chunk-level faults (exhausted retries, dropout)
+    lost_at: float | None = None  # dropout/quarantine time, None if healthy
 
     @property
     def participated(self) -> bool:
         return self.chunks > 0
+
+    @property
+    def lost(self) -> bool:
+        return self.lost_at is not None
 
     @property
     def data_movement_s(self) -> float:
@@ -42,7 +50,10 @@ class DeviceTrace:
 
     @property
     def busy_s(self) -> float:
-        return self.setup_s + self.sched_s + self.data_movement_s + self.compute_s
+        return (
+            self.setup_s + self.sched_s + self.data_movement_s
+            + self.compute_s + self.retry_s
+        )
 
     def breakdown_pct(self) -> dict[str, float]:
         """Share of each bucket in this device's total offload time."""
@@ -51,7 +62,7 @@ class DeviceTrace:
             return {"sched": 0.0, "data": 0.0, "compute": 0.0, "barrier": 0.0}
         return {
             "sched": 100.0 * (self.sched_s + self.setup_s) / total,
-            "data": 100.0 * self.data_movement_s / total,
+            "data": 100.0 * (self.data_movement_s + self.retry_s) / total,
             "compute": 100.0 * self.compute_s / total,
             "barrier": 100.0 * self.barrier_s / total,
         }

@@ -18,6 +18,8 @@ __all__ = [
     "AlignmentError",
     "SchedulingError",
     "OffloadError",
+    "FaultPlanError",
+    "FaultError",
 ]
 
 
@@ -67,3 +69,12 @@ class SchedulingError(HompError):
 
 class OffloadError(HompError):
     """An offload region failed during execution."""
+
+
+class FaultPlanError(HompError, ValueError):
+    """A fault plan or resilience policy is malformed."""
+
+
+class FaultError(OffloadError):
+    """Injected faults made the offload unrecoverable (e.g. every device
+    was lost while iterations remained)."""

@@ -53,6 +53,7 @@ class OffloadInfo:
     arrays: tuple[ArrayInfo, ...]
     is_reduction: bool
     serialize_offload: bool = False
+    fault_plan: str | None = None  # FaultPlan.describe(), when one is set
 
     @classmethod
     def build(
@@ -64,6 +65,7 @@ class OffloadInfo:
         *,
         cutoff_ratio: float = 0.0,
         serialize_offload: bool = False,
+        fault_plan: str | None = None,
     ) -> "OffloadInfo":
         arrays = tuple(
             ArrayInfo(
@@ -89,6 +91,7 @@ class OffloadInfo:
             arrays=arrays,
             is_reduction=kernel.is_reduction,
             serialize_offload=serialize_offload,
+            fault_plan=fault_plan,
         )
 
     def to_dict(self) -> dict:
@@ -100,6 +103,7 @@ class OffloadInfo:
             "devices": list(self.device_names),
             "reduction": self.is_reduction,
             "serialize_offload": self.serialize_offload,
+            "fault_plan": self.fault_plan,
             "arrays": [
                 {
                     "name": a.name,

@@ -21,6 +21,8 @@ from repro.dist.policy import Align, Auto, Policy
 from repro.engine.simulator import OffloadEngine
 from repro.engine.trace import OffloadResult
 from repro.errors import DeviceError, SchedulingError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
 from repro.kernels.base import LoopKernel
 from repro.lang.device_spec import parse_device_clause
 from repro.lang.pragma import OffloadDirective, parse_directive
@@ -109,6 +111,8 @@ class HompRuntime:
         resident: frozenset[str] | set[str] | None = None,
         record_events: bool = False,
         serialize_offload: bool = False,
+        fault_plan: FaultPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
         **sched_kwargs,
     ) -> OffloadResult:
         """Offload one parallel loop across the selected devices.
@@ -117,7 +121,10 @@ class HompRuntime:
         selection), a :class:`Policy` (``Align``/``Auto``), or a scheduler
         instance.  ``cutoff_ratio`` — a fraction, or ``"auto"`` for the
         paper's 1/ndev default.  ``resident`` — array names held on the
-        devices by an enclosing target-data region.
+        devices by an enclosing target-data region.  ``fault_plan`` —
+        faults to inject (device ids in the plan index the *selected*
+        devices, in selection order); ``resilience`` — retry/quarantine
+        policy for those faults (defaults apply when None).
         """
         ids = self.select_devices(devices)
         submachine = self.machine.subset(ids)
@@ -131,12 +138,18 @@ class HompRuntime:
             # Table II: CUTOFF applies only to the model/profile algorithms.
             ratio = 0.0
 
+        engine_kwargs: dict = {}
+        if fault_plan is not None:
+            engine_kwargs["fault_plan"] = fault_plan
+        if resilience is not None:
+            engine_kwargs["resilience"] = resilience
         engine = OffloadEngine(
             machine=submachine,
             seed=self.seed,
             execute_numerically=self.execute_numerically,
             record_events=record_events,
             serialize_offload=serialize_offload,
+            **engine_kwargs,
         )
         prev_resident = kernel.resident
         if resident is not None:
@@ -149,6 +162,9 @@ class HompRuntime:
                 ids,
                 cutoff_ratio=ratio,
                 serialize_offload=serialize_offload,
+                fault_plan=(
+                    fault_plan.describe() if fault_plan is not None else None
+                ),
             )
             result = engine.run(kernel, scheduler, cutoff_ratio=ratio)
         finally:

@@ -13,7 +13,13 @@ from repro.sched.align_sched import AlignedScheduler
 from repro.sched.history import HistoryDB, HistoryScheduler
 from repro.sched.worksteal import WorkStealingScheduler
 from repro.sched.cutoff import apply_cutoff, default_cutoff_ratio
-from repro.sched.registry import SCHEDULERS, make_scheduler, ALGORITHM_TABLE
+from repro.sched.registry import (
+    SCHEDULERS,
+    make_scheduler,
+    ALGORITHM_TABLE,
+    EXTENSION_TABLE,
+    AlgorithmInfo,
+)
 from repro.sched.selector import select_algorithm
 
 __all__ = [
@@ -37,5 +43,7 @@ __all__ = [
     "SCHEDULERS",
     "make_scheduler",
     "ALGORITHM_TABLE",
+    "EXTENSION_TABLE",
+    "AlgorithmInfo",
     "select_algorithm",
 ]

@@ -82,11 +82,3 @@ class AlignedScheduler(LoopScheduler):
     def describe(self) -> str:
         return f"ALIGN({self.target})"
 
-
-def _register() -> None:
-    from repro.sched.registry import SCHEDULERS
-
-    SCHEDULERS.setdefault("ALIGN", AlignedScheduler)
-
-
-_register()

@@ -165,6 +165,28 @@ class LoopScheduler(ABC):
     def at_barrier(self) -> None:
         """All active devices reached the barrier (two-stage algorithms)."""
 
+    # -- resilience hooks (used by the fault-injecting engine) ---------------
+
+    def requeue(self, chunk: IterRange) -> bool:
+        """Take back an orphaned chunk (lost with a dropped device or after
+        exhausted transfer retries) for redistribution through ``next``.
+
+        Return True if the scheduler will re-serve the chunk itself;
+        False (the default) lets the engine split it across the surviving
+        devices directly.
+        """
+        return False
+
+    def device_lost(self, devid: int) -> list[IterRange]:
+        """The engine permanently lost ``devid`` (dropout or quarantine).
+
+        The device will never call ``next`` again; schedulers holding
+        per-device plans should stop counting on it and return any
+        iteration ranges that were reserved exclusively for it (they would
+        otherwise never be served) so the engine can reassign them.
+        """
+        return []
+
     def describe(self) -> str:
         """Paper-style notation with parameters, e.g. 'SCHED_DYNAMIC,2%'."""
         return self.notation

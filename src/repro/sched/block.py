@@ -29,3 +29,11 @@ class BlockScheduler(LoopScheduler):
         self._served[devid] = True
         chunk = self._chunks[devid]
         return None if chunk.empty else chunk
+
+    def device_lost(self, devid: int) -> list[IterRange]:
+        # Surrender the unclaimed static block of a dropped device.
+        if self._served[devid]:
+            return []
+        self._served[devid] = True
+        chunk = self._chunks[devid]
+        return [] if chunk.empty else [chunk]

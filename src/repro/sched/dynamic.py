@@ -35,14 +35,30 @@ class DynamicScheduler(LoopScheduler):
         self._cursor = ctx.iter_space.start
         self._stop = ctx.iter_space.stop
         self._chunk = max(1, round(ctx.n_iters * self.chunk_pct))
+        self._requeued: list[IterRange] = []
 
     def next(self, devid: int) -> Decision:
+        # Orphans handed back by the fault-injecting engine rejoin the
+        # shared cursor's stream first, re-chunked at the configured size.
+        while self._requeued:
+            head, rest = self._requeued[0].take(self._chunk)
+            if rest.empty:
+                self._requeued.pop(0)
+            else:
+                self._requeued[0] = rest
+            if not head.empty:
+                return head
         if self._cursor >= self._stop:
             return None
         start = self._cursor
         stop = min(start + self._chunk, self._stop)
         self._cursor = stop
         return IterRange(start, stop)
+
+    def requeue(self, chunk: IterRange) -> bool:
+        if not chunk.empty:
+            self._requeued.append(chunk)
+        return True
 
     def describe(self) -> str:
         return f"{self.notation},{self.chunk_pct:.0%}"

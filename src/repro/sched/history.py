@@ -167,11 +167,3 @@ class HistoryScheduler(LoopScheduler):
             self.ctx.kernel.name, self.ctx.devices[devid].spec, len(chunk), elapsed_s
         )
 
-
-def _register() -> None:
-    from repro.sched.registry import SCHEDULERS
-
-    SCHEDULERS.setdefault("HISTORY_AUTO", HistoryScheduler)
-
-
-_register()

@@ -49,6 +49,14 @@ class Model1Scheduler(LoopScheduler):
         chunk = self._chunks[devid]
         return None if chunk.empty else chunk
 
+    def device_lost(self, devid: int) -> list[IterRange]:
+        # Surrender the unclaimed static share of a dropped device.
+        if self._served[devid]:
+            return []
+        self._served[devid] = True
+        chunk = self._chunks[devid]
+        return [] if chunk.empty else [chunk]
+
     def describe(self) -> str:
         cutoff = self.ctx.cutoff_ratio if self._ctx is not None else 0.0
         return f"{self.notation},-1,{cutoff:.0%}"

@@ -58,6 +58,8 @@ class TwoStageProfileScheduler(LoopScheduler):
         self._throughput = [0.0] * ctx.ndev
         self._stage2: list[IterRange] | None = None
         self._handed2 = [False] * ctx.ndev
+        self._lost: set[int] = set()
+        self._pending: list[list[IterRange]] = [[] for _ in range(ctx.ndev)]
 
     def next(self, devid: int) -> Decision:
         if self._stage == 1:
@@ -70,11 +72,14 @@ class TwoStageProfileScheduler(LoopScheduler):
             return BARRIER
         if self._stage2 is None:
             raise SchedulingError(f"{self.notation}: stage 2 not planned")
-        if self._handed2[devid]:
-            return None
-        self._handed2[devid] = True
-        chunk = self._stage2[devid]
-        return None if chunk.empty else chunk
+        if not self._handed2[devid]:
+            self._handed2[devid] = True
+            chunk = self._stage2[devid]
+            if not chunk.empty:
+                return chunk
+        if self._pending[devid]:
+            return self._pending[devid].pop(0)
+        return None
 
     def observe(self, devid: int, chunk: IterRange, elapsed_s: float) -> None:
         if self._stage != 1 or len(chunk) == 0:
@@ -85,12 +90,59 @@ class TwoStageProfileScheduler(LoopScheduler):
             elapsed_s = 1e-12
         self._throughput[devid] = len(chunk) / elapsed_s
 
+    def device_lost(self, devid: int) -> list[IterRange]:
+        # A dropped/quarantined device predicts zero throughput: the
+        # stage-2 split gives it nothing, like a CUTOFF exclusion that was
+        # observed rather than predicted.  Its unclaimed sample or stage-2
+        # block is surrendered for reassignment.
+        self._lost.add(devid)
+        self._throughput[devid] = 0.0
+        orphaned: list[IterRange] = []
+        if self._stage == 1 and not self._handed1[devid]:
+            self._handed1[devid] = True
+            sample = self._stage1[devid]
+            if sample is not None and not sample.empty:
+                orphaned.append(sample)
+        if self._stage2 is not None and not self._handed2[devid]:
+            self._handed2[devid] = True
+            block = self._stage2[devid]
+            if not block.empty:
+                orphaned.append(block)
+        orphaned.extend(self._pending[devid])
+        self._pending[devid].clear()
+        return orphaned
+
+    def requeue(self, chunk: IterRange) -> bool:
+        # Orphans are redistributed proportionally to the *measured*
+        # throughputs of the devices still alive — the same information
+        # stage 2 was planned with, applied to the recovery.  Stage-1
+        # orphans (no throughputs yet) fall back to the engine's even
+        # split.
+        if self._stage != 2 or chunk.empty:
+            return False
+        shares = [
+            0.0 if i in self._lost else x for i, x in enumerate(self._throughput)
+        ]
+        if sum(shares) <= 0.0:
+            return False
+        for i, piece in enumerate(split_by_weights(chunk, shares)):
+            if not piece.empty:
+                self._pending[i].append(piece)
+        return True
+
     def at_barrier(self) -> None:
         ctx = self.ctx
         self._stage = 2
-        shares = list(self._throughput)
+        shares = [
+            0.0 if i in self._lost else x for i, x in enumerate(self._throughput)
+        ]
         if sum(shares) <= 0.0:
-            # Nobody was profiled (all sample sizes 0): fall back to even.
+            # Nobody was profiled (all sample sizes 0): fall back to even
+            # over the devices still alive.
+            shares = [
+                0.0 if i in self._lost else 1.0 for i in range(ctx.ndev)
+            ]
+        if sum(shares) <= 0.0:  # every device lost: keep split_by_weights sane
             shares = [1.0] * ctx.ndev
 
         def resolve(survivors: list[int]) -> list[float]:

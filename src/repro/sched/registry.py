@@ -3,7 +3,12 @@
 ``make_scheduler`` builds any of the seven algorithms by paper notation;
 ``ALGORITHM_TABLE`` carries the taxonomy columns (approach, stages,
 overhead, load-balancing quality) that ``benchmarks/test_table2_registry``
-re-prints.
+re-prints, and ``EXTENSION_TABLE`` documents the schedulers this
+reproduction adds beyond the paper (ALIGN, HISTORY_AUTO, WORK_STEALING).
+
+This module is the single registration point: importing it alone yields
+the complete ``SCHEDULERS`` mapping — no scheduler registers itself as an
+import side effect anywhere else.
 """
 
 from __future__ import annotations
@@ -11,19 +16,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.sched.align_sched import AlignedScheduler
 from repro.sched.base import LoopScheduler
 from repro.sched.block import BlockScheduler
 from repro.sched.dynamic import DynamicScheduler
 from repro.sched.guided import GuidedScheduler
+from repro.sched.history import HistoryScheduler
 from repro.sched.model1 import Model1Scheduler
 from repro.sched.model2 import Model2Scheduler
 from repro.sched.profile_const import ProfileScheduler
 from repro.sched.profile_model import ModelProfileScheduler
+from repro.sched.worksteal import WorkStealingScheduler
 
-__all__ = ["SCHEDULERS", "make_scheduler", "ALGORITHM_TABLE", "AlgorithmInfo"]
+__all__ = [
+    "SCHEDULERS",
+    "make_scheduler",
+    "ALGORITHM_TABLE",
+    "EXTENSION_TABLE",
+    "AlgorithmInfo",
+]
 
 
 SCHEDULERS: dict[str, Callable[..., LoopScheduler]] = {
+    # The seven Table II algorithms, in the order the paper lists them.
     "BLOCK": BlockScheduler,
     "SCHED_DYNAMIC": DynamicScheduler,
     "SCHED_GUIDED": GuidedScheduler,
@@ -31,6 +46,10 @@ SCHEDULERS: dict[str, Callable[..., LoopScheduler]] = {
     "MODEL_2_AUTO": Model2Scheduler,
     "SCHED_PROFILE_AUTO": ProfileScheduler,
     "MODEL_PROFILE_AUTO": ModelProfileScheduler,
+    # Documented extensions (see EXTENSION_TABLE below).
+    "ALIGN": AlignedScheduler,
+    "HISTORY_AUTO": HistoryScheduler,
+    "WORK_STEALING": WorkStealingScheduler,
 }
 
 
@@ -88,5 +107,27 @@ ALGORITHM_TABLE: tuple[AlgorithmInfo, ...] = (
         "Sample Profiling", "Model-based Sampling", "MODEL_PROFILE_AUTO,10%,15%",
         "2", "Medium", "Medium to good",
         "Uses models to select sample sizes for profiling",
+    ),
+)
+
+
+#: Schedulers this reproduction provides beyond the paper's Table II, in
+#: the same taxonomy.  ALIGN is the paper's Table I *distribution policy*
+#: exposed as a loop schedule; HISTORY_AUTO implements the conclusion's
+#: "historical execution" future work (Qilin-style); WORK_STEALING is the
+#: related-work baseline HOMP is contrasted against (StarPU, Harmony).
+EXTENSION_TABLE: tuple[AlgorithmInfo, ...] = (
+    AlgorithmInfo(
+        "Data Alignment", "Align With Array", "ALIGN", "1", "Low",
+        "Poor to good", "Loop chunks copy an array's partition (Table I)",
+    ),
+    AlgorithmInfo(
+        "Analytical Modeling", "History-guided Modeling", "HISTORY_AUTO",
+        "1", "Low", "Medium to good",
+        "Rates from recorded per-device execution history (future work)",
+    ),
+    AlgorithmInfo(
+        "Chunk Scheduling", "Work Stealing", "WORK_STEALING,2%", "Multiple",
+        "High", "Good", "Even start, idle devices steal from the largest victim",
     ),
 )

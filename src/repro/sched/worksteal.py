@@ -82,11 +82,3 @@ class WorkStealingScheduler(LoopScheduler):
     def describe(self) -> str:
         return f"{self.notation},{self.chunk_pct:.0%}"
 
-
-def _register() -> None:
-    from repro.sched.registry import SCHEDULERS
-
-    SCHEDULERS.setdefault("WORK_STEALING", WorkStealingScheduler)
-
-
-_register()

@@ -87,6 +87,48 @@ def test_key_sensitive_to_policy_cutoff_and_engine_flags():
     )
 
 
+def test_key_sensitive_to_fault_plan(monkeypatch):
+    from repro.faults.plan import FAULTS_ENV, FaultPlan, Slowdown
+    from repro.faults.policy import ResiliencePolicy, RetryPolicy
+
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    m = gpu4_node()
+    fp = WorkloadFactory("axpy").fingerprint()
+    base = result_key(m, fp, "BLOCK")
+    plan = FaultPlan.of(Slowdown(devid=1, factor=4.0), name="straggler")
+    faulted = result_key(m, fp, "BLOCK", fault_plan=plan)
+    assert faulted != base
+
+    # a different plan, and a different resilience policy, key differently
+    other = FaultPlan.of(Slowdown(devid=1, factor=2.0), name="straggler")
+    assert result_key(m, fp, "BLOCK", fault_plan=other) != faulted
+    strict = ResiliencePolicy(retry=RetryPolicy(max_retries=1))
+    assert result_key(m, fp, "BLOCK", fault_plan=plan, resilience=strict) != faulted
+
+    # an empty plan, or any plan while injection is disabled, is the
+    # fault-free experiment and must share its key
+    assert result_key(m, fp, "BLOCK", fault_plan=FaultPlan()) == base
+    monkeypatch.setenv(FAULTS_ENV, "off")
+    assert result_key(m, fp, "BLOCK", fault_plan=plan) == base
+
+
+def test_faulted_cell_cached_separately():
+    from repro.faults.plan import FaultPlan, Slowdown
+
+    m = gpu4_node()
+    f = WorkloadFactory("axpy")
+    plan = FaultPlan.of(Slowdown(devid=1, factor=4.0), name="straggler")
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK")) == 1
+    # the faulted cell is a different experiment: first run misses
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK", fault_plan=plan)) == 1
+    # both are now cached independently
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK")) == 0
+    assert _runs_for(lambda: run_cell(m, f, "BLOCK", fault_plan=plan)) == 0
+    clean = run_cell(m, f, "BLOCK")
+    faulted = run_cell(m, f, "BLOCK", fault_plan=plan)
+    assert faulted.total_time_s > clean.total_time_s
+
+
 # --------------------------------------------------------- hit / miss
 
 

@@ -54,6 +54,26 @@ def test_parallel_grid_matches_serial_cell_for_cell():
             )
 
 
+def test_faulted_grid_matches_serial_cell_for_cell():
+    from repro.faults.plan import DeviceDropout, FaultPlan, Slowdown
+
+    machine = gpu4_node()
+    ks = {n: WorkloadFactory(n) for n in ("axpy", "sum")}
+    plan = FaultPlan.of(
+        Slowdown(devid=1, factor=3.0),
+        DeviceDropout(devid=2, t=0.0005),
+        name="mixed",
+    )
+    serial = run_grid(machine, ks, policies=POLICIES, workers=0, fault_plan=plan)
+    parallel = run_grid(machine, ks, policies=POLICIES, workers=4, fault_plan=plan)
+    for kname in ks:
+        for policy in POLICIES:
+            a = serial.results[kname][policy]
+            b = parallel.results[kname][policy]
+            _assert_results_identical(a, b)
+            assert a.meta["faults"] == b.meta["faults"]
+
+
 def test_parallel_grid_populates_cache(monkeypatch):
     from repro.bench.runner import engine_run_count
 

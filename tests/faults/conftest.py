@@ -1,0 +1,15 @@
+"""The fault suite owns the injection kill switch.
+
+Tests here assert *faulted* behaviour, so an ambient ``REPRO_FAULTS=off``
+(say, exported while A/B-ing a sweep) must not silently neuter them.
+Tests that exercise the switch itself set it explicitly.
+"""
+
+import pytest
+
+from repro.faults.plan import FAULTS_ENV
+
+
+@pytest.fixture(autouse=True)
+def faults_on(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)

@@ -1,0 +1,99 @@
+"""Fault marks in the rendered timeline (snapshot on a fixed scenario)."""
+
+from repro.engine.events import Timeline, render_timeline
+from repro.engine.simulator import OffloadEngine
+from repro.faults.events import ChunkFault, FaultKind
+from repro.faults.plan import DeviceDropout, FaultPlan, TransferError
+from repro.faults.policy import ResiliencePolicy, RetryPolicy
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import gpu4_node
+from repro.sched.dynamic import DynamicScheduler
+
+
+def _faulted_timeline():
+    kernel = make_kernel("axpy", 20_000)
+    plan = FaultPlan.of(
+        TransferError(devid=1, p_fail=0.4, seed=5),
+        DeviceDropout(devid=2, t=0.0002),
+        name="demo",
+    )
+    engine = OffloadEngine(
+        machine=gpu4_node(), record_events=True, fault_plan=plan,
+        resilience=ResiliencePolicy(
+            retry=RetryPolicy(max_retries=2), quarantine_after=1
+        ),
+    )
+    engine.run(kernel, DynamicScheduler(0.1))
+    return engine.timeline
+
+
+#: The exact rendering of the fixed scenario above: virtual time and
+#: counter-based fault draws make it reproducible to the character.
+SNAPSHOT = "\n".join([
+    'timeline: 0.267 ms total, 60 cols',
+    '     k40-0 in   |                                  iiiiiiii iiiiiiii         |',
+    '           comp |                                      ccc ccc  cc  ccc      |',
+    '           out  |                                         ooo oooooooo oooo  |',
+    '     k40-1 in   |                                  iiiiiiiiiiiiiiiiiii       |',
+    '           comp |                                                     ccc    |',
+    '           out  |                                                        oooo|',
+    '           flt  |                                      r                     |',
+    '     k40-2 in   |                                  iiiiiiii                  |',
+    '           comp |                                      ccc ccc               |',
+    '           out  |                                         ooo                |',
+    '           flt  |                                             D              |',
+    '     k40-3 in   |                                  iiiiiiii iiiiiiii         |',
+    '           comp |                                      ccc ccc  cc  ccc      |',
+    '           out  |                                         ooo oooooooo oooo  |',
+    'faults: 2 (r=retry x=transfer-fail D=dropout Q=quarantine)',
+])
+
+
+def test_faulted_timeline_snapshot():
+    timeline = _faulted_timeline()
+    assert timeline.faults_for_device(1)
+    assert timeline.faults_for_device(2)
+    rendered = render_timeline(timeline, width=60)
+    assert rendered == SNAPSHOT
+    lines = rendered.splitlines()
+
+    # Structure: an flt lane appears exactly for the two faulted devices,
+    # and the legend closes the chart.
+    assert sum(1 for line in lines if " flt  |" in line) == 2
+    assert lines[-1] == "faults: 2 (r=retry x=transfer-fail D=dropout Q=quarantine)"
+
+    # Marks: the retry lands in k40-1's lane, the dropout in k40-2's.
+    flt_lanes = [line for line in lines if " flt  |" in line]
+    assert "r" in flt_lanes[0] and "D" not in flt_lanes[0]
+    assert "D" in flt_lanes[1] and "r" not in flt_lanes[1]
+
+
+def test_fault_free_timeline_has_no_fault_lane():
+    kernel = make_kernel("axpy", 20_000)
+    engine = OffloadEngine(machine=gpu4_node(), record_events=True)
+    engine.run(kernel, DynamicScheduler(0.1))
+    rendered = render_timeline(engine.timeline, width=60)
+    assert "flt" not in rendered
+    assert "faults:" not in rendered
+
+
+def test_dropout_outranks_retry_in_shared_column():
+    # Synthetic timeline: two faults on the same device at the same time
+    # share a column; the louder mark (D) wins.
+    from repro.engine.events import ChunkEvent
+    from repro.util.ranges import IterRange
+
+    event = ChunkEvent(
+        devid=0, device_name="dev", chunk=IterRange(0, 10),
+        acquire_t=0.0, in_start=0.0, in_end=0.2, comp_start=0.2,
+        comp_end=0.8, out_start=0.8, out_end=1.0,
+    )
+    faults = [
+        ChunkFault(kind=FaultKind.RETRY, devid=0, device_name="dev", t=0.5),
+        ChunkFault(kind=FaultKind.DROPOUT, devid=0, device_name="dev", t=0.5),
+    ]
+    timeline = Timeline(events=[event], faults=faults)
+    rendered = render_timeline(timeline, width=20)
+    flt = [line for line in rendered.splitlines() if " flt  |" in line]
+    assert len(flt) == 1
+    assert "D" in flt[0] and "r" not in flt[0]

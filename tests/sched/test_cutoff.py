@@ -88,6 +88,57 @@ def test_resolve_length_mismatch_rejected():
         apply_cutoff([10.0, 1.0], 0.2, lambda s: [1.0, 2.0, 3.0])
 
 
+class TestEdgeCases:
+    def test_single_device_survives_any_ratio(self):
+        for ratio in (0.0, 0.15, 0.5, 0.99):
+            assert apply_cutoff([5.0], ratio, renormalise([5.0])) == [5.0]
+
+    def test_all_below_threshold_keeps_at_least_one(self):
+        # 8 identical devices at 12.5% each against a 60% bar: the loop
+        # drops them one at a time and must stop at the last device, never
+        # emptying the set.
+        shares = [1.0] * 8
+        out = apply_cutoff(shares, 0.6, renormalise(shares))
+        assert sum(1 for s in out if s > 0) == 1
+
+    def test_all_below_threshold_stops_when_bar_cleared(self):
+        # Same devices against a 50% bar: two survivors at 50% each clear
+        # it exactly, so the iteration stops at two, not one.
+        shares = [1.0] * 8
+        out = apply_cutoff(shares, 0.5, renormalise(shares))
+        assert sum(1 for s in out if s > 0) == 2
+
+    def test_exact_boundary_fraction_survives(self):
+        # The paper's exclusion is strict: a device *below* the ratio is
+        # cut, a device exactly at it is kept.
+        shares = [1.0, 1.0]
+        assert apply_cutoff(shares, 0.5, renormalise(shares)) == [1.0, 1.0]
+
+    def test_just_above_boundary_drops_weakest(self):
+        shares = [1.0, 1.0]
+        out = apply_cutoff(shares, 0.500001, renormalise(shares))
+        assert sum(1 for s in out if s > 0) == 1
+
+    def test_ratio_upper_boundary_rejected(self):
+        with pytest.raises(SchedulingError):
+            apply_cutoff([1.0, 1.0], 1.0, renormalise([1.0, 1.0]))
+
+    def test_near_one_ratio_keeps_strongest(self):
+        shares = [1.0, 2.0, 4.0]
+        out = apply_cutoff(shares, 0.99, renormalise(shares))
+        assert out == [0.0, 0.0, 4.0]
+
+    def test_zero_share_devices_stay_zero(self):
+        shares = [10.0, 0.0, 10.0]
+        out = apply_cutoff(shares, 0.15, renormalise(shares))
+        assert out == [10.0, 0.0, 10.0]
+
+    def test_single_positive_among_zeros(self):
+        shares = [0.0, 3.0, 0.0]
+        out = apply_cutoff(shares, 0.9, renormalise(shares))
+        assert out == [0.0, 3.0, 0.0]
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     shares=st.lists(st.floats(0.01, 100, allow_nan=False), min_size=1, max_size=10),

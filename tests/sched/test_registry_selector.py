@@ -5,7 +5,12 @@ import pytest
 from repro.kernels.registry import make_kernel
 from repro.machine.presets import cpu_mic_node, full_node, gpu4_node
 from repro.sched.align_sched import AlignedScheduler
-from repro.sched.registry import ALGORITHM_TABLE, SCHEDULERS, make_scheduler
+from repro.sched.registry import (
+    ALGORITHM_TABLE,
+    EXTENSION_TABLE,
+    SCHEDULERS,
+    make_scheduler,
+)
 from repro.sched.selector import select_algorithm
 
 
@@ -72,6 +77,56 @@ class TestRegistry:
             "SCHED_PROFILE_AUTO": True,
             "MODEL_PROFILE_AUTO": True,
         }
+
+
+class TestRegistryAudit:
+    """The registry is exactly Table II plus the documented extensions,
+    and the registry module alone carries every registration."""
+
+    def test_registry_is_table2_plus_extension_table(self):
+        table2 = {row.notation.split(",")[0] for row in ALGORITHM_TABLE}
+        extensions = {row.notation.split(",")[0] for row in EXTENSION_TABLE}
+        assert table2 & extensions == set()
+        assert set(SCHEDULERS) == table2 | extensions
+
+    def test_extension_rows_name_registered_classes(self):
+        from repro.sched.align_sched import AlignedScheduler
+        from repro.sched.history import HistoryScheduler
+        from repro.sched.worksteal import WorkStealingScheduler
+
+        expected = {
+            "ALIGN": AlignedScheduler,
+            "HISTORY_AUTO": HistoryScheduler,
+            "WORK_STEALING": WorkStealingScheduler,
+        }
+        for row in EXTENSION_TABLE:
+            name = row.notation.split(",")[0]
+            assert SCHEDULERS[name] is expected[name]
+
+    def test_registry_import_alone_is_complete(self):
+        # No scheduler may rely on being imported elsewhere for its
+        # registration: a process that imports only the registry module
+        # must see the full mapping.
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.sched.registry import SCHEDULERS; "
+            "print(','.join(sorted(SCHEDULERS)))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+        )
+        assert set(out.stdout.strip().split(",")) == set(SCHEDULERS)
+
+    def test_no_import_side_effect_registration_remains(self):
+        import inspect
+
+        from repro.sched import align_sched, history, worksteal
+
+        for module in (align_sched, history, worksteal):
+            assert "_register" not in inspect.getsource(module)
 
 
 class TestSelector:

@@ -8,6 +8,8 @@ from repro.errors import (
     DeviceError,
     DirectiveSyntaxError,
     DistributionError,
+    FaultError,
+    FaultPlanError,
     HompError,
     MachineSpecError,
     MappingError,
@@ -27,6 +29,8 @@ class TestErrorHierarchy:
             AlignmentError("x"),
             SchedulingError("x"),
             OffloadError("x"),
+            FaultPlanError("x"),
+            FaultError("x"),
         ):
             assert isinstance(exc, HompError)
 
@@ -36,6 +40,10 @@ class TestErrorHierarchy:
         assert isinstance(DirectiveSyntaxError("x"), ValueError)
         assert isinstance(MachineSpecError("x"), ValueError)
         assert isinstance(DistributionError("x"), ValueError)
+        assert isinstance(FaultPlanError("x"), ValueError)
+
+    def test_fault_error_is_an_offload_error(self):
+        assert isinstance(FaultError("x"), OffloadError)
 
     def test_alignment_is_a_distribution_error(self):
         assert isinstance(AlignmentError("x"), DistributionError)
@@ -58,7 +66,7 @@ class TestPublicSurface:
             assert getattr(repro, name) is not None, name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_key_workflow_symbols_present(self):
         for name in (
@@ -72,6 +80,8 @@ class TestPublicSurface:
             "select_algorithm",
             "TargetDataRegion",
             "OffloadResult",
+            "FaultPlan",
+            "ResiliencePolicy",
         ):
             assert name in repro.__all__
 

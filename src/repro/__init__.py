@@ -78,8 +78,9 @@ from repro.sched import (
 )
 from repro.dist import Align, Auto, Block, Cyclic, Full, parse_policy
 from repro.lang import parse_device_clause, parse_directive
+from repro.obs import MetricsRegistry, Span, Tracer, write_chrome_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -151,4 +152,9 @@ __all__ = [
     "parse_policy",
     "parse_device_clause",
     "parse_directive",
+    # observability
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "write_chrome_trace",
 ]

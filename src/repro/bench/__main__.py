@@ -5,8 +5,13 @@ Usage::
     python -m repro.bench                # all figures, default scale
     python -m repro.bench fig5 table5    # a subset
     REPRO_BENCH_SCALE=full python -m repro.bench   # paper-size runs
+    python -m repro.bench fig5 --trace traces/     # + Chrome traces/metrics
 
 Writes each rendered table to stdout and, with ``--out DIR``, to files.
+``--trace DIR`` additionally exports observability artifacts (Chrome
+trace-event JSON per grid cell, JSONL span streams, Prometheus metrics —
+see docs/OBSERVABILITY.md) for the grid-based figures; ``REPRO_OBS=off``
+disables it.
 """
 
 from __future__ import annotations
@@ -35,6 +40,9 @@ GENERATORS = {
     "table5": table5_cutoff,
 }
 
+#: Grid-based generators that accept ``trace_dir`` (obs export).
+TRACEABLE = frozenset({"fig5", "fig6", "fig8", "fig9"})
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -49,6 +57,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--out", type=Path, help="also write tables to this directory")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        metavar="DIR",
+        help=(
+            "export observability artifacts (Chrome trace JSON, JSONL spans, "
+            f"Prometheus metrics) for {sorted(TRACEABLE)} into DIR"
+        ),
+    )
     args = parser.parse_args(argv)
 
     targets = args.targets or list(GENERATORS)
@@ -56,7 +73,12 @@ def main(argv: list[str] | None = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
     for name in targets:
         fn = GENERATORS[name]
-        result = fn(seed=args.seed) if name != "table4" else fn()
+        if name == "table4":
+            result = fn()
+        elif args.trace is not None and name in TRACEABLE:
+            result = fn(seed=args.seed, trace_dir=args.trace / name)
+        else:
+            result = fn(seed=args.seed)
         print(result.text)
         print()
         if args.out:

@@ -133,6 +133,16 @@ class CacheStats:
     def hits(self) -> int:
         return self.mem_hits + self.disk_hits
 
+    def to_dict(self) -> dict[str, int]:
+        """Flat counters, e.g. for the obs metrics export (sorted keys)."""
+        return {
+            "disk_hits": self.disk_hits,
+            "hits": self.hits,
+            "mem_hits": self.mem_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }
+
 
 @dataclass
 class SweepCache:

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 
 from repro.bench.runner import PolicyGrid
-from repro.engine.trace import OffloadResult
+from repro.engine.trace import DeviceTrace, OffloadResult
 
-__all__ = ["grid_to_csv", "breakdown_to_csv"]
+__all__ = ["grid_to_csv", "breakdown_to_csv", "BREAKDOWN_COLUMNS"]
 
 
 def grid_to_csv(grid: PolicyGrid) -> str:
@@ -23,18 +24,36 @@ def grid_to_csv(grid: PolicyGrid) -> str:
     return buf.getvalue()
 
 
+#: Every ``DeviceTrace`` field, in declaration order.  Deriving the column
+#: set from the dataclass means a field added to the trace can never be
+#: silently dropped from the export again (the round-trip test enforces
+#: lossless values on top).
+BREAKDOWN_COLUMNS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(DeviceTrace)
+)
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return ""  # lost_at of a healthy device
+    if isinstance(value, float):
+        return f"{value:.9f}"
+    return str(value)
+
+
 def breakdown_to_csv(result: OffloadResult) -> str:
-    """One row per participating device with the Fig.-6 buckets."""
+    """One row per participating device with every ``DeviceTrace`` field.
+
+    Fig.-6 buckets plus the resilience fields (``retry_s``, ``retries``,
+    ``faults``, ``lost_at``) — resilience sweeps export losslessly.
+    Floats are written with nine decimals; a ``None`` (``lost_at`` of a
+    healthy device) exports as an empty cell.
+    """
     buf = io.StringIO()
     writer = csv.writer(buf)
-    writer.writerow(
-        ["device", "iters", "chunks", "setup_s", "sched_s", "xfer_in_s",
-         "xfer_out_s", "compute_s", "barrier_s", "finish_s"]
-    )
+    writer.writerow(BREAKDOWN_COLUMNS)
     for t in result.participating:
         writer.writerow(
-            [t.name, t.iters, t.chunks, f"{t.setup_s:.9f}", f"{t.sched_s:.9f}",
-             f"{t.xfer_in_s:.9f}", f"{t.xfer_out_s:.9f}",
-             f"{t.compute_s:.9f}", f"{t.barrier_s:.9f}", f"{t.finish_s:.9f}"]
+            _format_cell(getattr(t, col)) for col in BREAKDOWN_COLUMNS
         )
     return buf.getvalue()

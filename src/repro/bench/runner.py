@@ -16,6 +16,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping
 
 import numpy as np
@@ -27,6 +28,8 @@ from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.kernels.base import LoopKernel
 from repro.machine.spec import MachineSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, obs_enabled
 from repro.runtime.runtime import HompRuntime
 
 __all__ = [
@@ -101,19 +104,22 @@ def run_one(
     verify: bool = True,
     fault_plan: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    tracer: Tracer | None = None,
 ) -> OffloadResult:
     """One kernel under one policy, verified.
 
     ``fault_plan``/``resilience`` inject deterministic faults into the run
     (see :mod:`repro.faults`); verification still applies — a resilient
-    run must produce the same answer as the fault-free one.
+    run must produce the same answer as the fault-free one.  ``tracer``
+    receives the run's span stream (:mod:`repro.obs`); tracing is a pure
+    side channel — the returned result is identical with or without it.
     """
     global _ENGINE_RUNS
     _ENGINE_RUNS += 1
     rt = HompRuntime(machine, seed=seed)
     result = rt.parallel_for(
         kernel, schedule=policy, cutoff_ratio=cutoff_ratio,
-        fault_plan=fault_plan, resilience=resilience,
+        fault_plan=fault_plan, resilience=resilience, tracer=tracer,
     )
     if verify:
         verify_result(kernel, result)
@@ -273,6 +279,7 @@ def run_grid(
     cache: SweepCache | None = None,
     fault_plan: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    trace_dir: str | Path | None = None,
 ) -> PolicyGrid:
     """Sweep kernel factories over policies.
 
@@ -287,10 +294,23 @@ def run_grid(
     from the same seed).  Cells whose factories carry a cache fingerprint
     are served from / stored into the sweep cache; anonymous lambdas (and
     unpicklable factories, in pool mode) simply run in-process.
+
+    ``trace_dir`` enables observability (:mod:`repro.obs`): every cell
+    runs freshly traced (cache reads are bypassed — a cache hit has no
+    spans to give — but results still populate the cache, since traced
+    results are bit-identical to untraced ones) and the directory receives
+    ``<kernel>.<policy>.trace.json`` (Chrome trace-event format, one pid
+    per device), ``<kernel>.<policy>.jsonl`` (raw span stream) and one
+    grid-wide ``metrics.prom``.  Under ``REPRO_OBS=off`` the flag is
+    ignored entirely: nothing is written and caching behaves as if
+    ``trace_dir`` had not been passed, so cache keys and results are
+    unchanged.  Tracing forces the serial in-process path (``workers`` is
+    ignored).
     """
     workers = _default_workers() if workers is None else max(0, int(workers))
     cache = get_cache() if cache is None else cache
     grid = PolicyGrid(machine_name=machine.name, policies=tuple(policies))
+    tracing = trace_dir is not None and obs_enabled()
 
     # Resolve cache hits up front; only misses are (possibly) parallelised.
     pending: list[tuple[str, Callable[[], LoopKernel], str, str | None]] = []
@@ -306,13 +326,21 @@ def run_grid(
                 if cache.enabled
                 else None
             )
-            hit = cache.get(key) if key is not None else None
+            hit = (
+                cache.get(key) if key is not None and not tracing else None
+            )
             if hit is not None:
                 results[(kname, policy)] = hit
             else:
                 pending.append((kname, factory, policy, key))
 
-    if workers > 0 and pending and _cells_picklable(machine, pending):
+    if tracing:
+        _run_traced_cells(
+            machine, pending, results, cache, Path(trace_dir),
+            cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+            fault_plan=fault_plan, resilience=resilience,
+        )
+    elif workers > 0 and pending and _cells_picklable(machine, pending):
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_pin_worker_threads
         ) as pool:
@@ -342,6 +370,47 @@ def run_grid(
     for kname in kernels:
         grid.results[kname] = {p: results[(kname, p)] for p in grid.policies}
     return grid
+
+
+def _run_traced_cells(
+    machine: MachineSpec,
+    pending: list,
+    results: dict,
+    cache: SweepCache,
+    trace_dir: Path,
+    *,
+    cutoff_ratio: float,
+    seed: int,
+    verify: bool,
+    fault_plan: FaultPlan | None,
+    resilience: ResiliencePolicy | None,
+) -> None:
+    """Run grid cells with tracing, exporting artifacts per cell.
+
+    Serial by construction (the tracer is an in-process object).  One
+    metrics registry spans the whole grid; each cell gets its own span
+    stream.  Cache statistics are folded into the registry at the end.
+    """
+    from repro.obs.export import write_chrome_trace, write_jsonl, write_prom
+
+    registry = MetricsRegistry()
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    for kname, factory, policy, key in pending:
+        tracer = Tracer(clock="virtual", metrics=registry)
+        result = run_one(
+            machine, factory(), policy,
+            cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+            fault_plan=fault_plan, resilience=resilience, tracer=tracer,
+        )
+        stem = f"{kname}.{policy}".replace("/", "_").replace(" ", "_")
+        write_chrome_trace(tracer, trace_dir / f"{stem}.trace.json")
+        write_jsonl(tracer, trace_dir / f"{stem}.jsonl")
+        if key is not None:
+            cache.put(key, result)
+        results[(kname, policy)] = result
+    for stat_name, value in cache.stats.to_dict().items():
+        registry.set_gauge(f"bench_cache_{stat_name}", value)
+    write_prom(registry, trace_dir / "metrics.prom")
 
 
 def _cells_picklable(machine: MachineSpec, pending: list) -> bool:

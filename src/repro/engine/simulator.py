@@ -49,6 +49,9 @@ from repro.kernels.base import LoopKernel
 from repro.machine.device import Device
 from repro.machine.spec import MachineSpec, MemoryKind
 from repro.memory.unified import UnifiedMemoryModel
+from repro.obs import span as _sp
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS as _CHUNK_SIZE_BUCKETS
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, resolve_tracer
 from repro.sched.base import BARRIER, LoopScheduler, SchedContext
 from repro.util.ranges import IterRange, split_block
 
@@ -94,6 +97,11 @@ class OffloadEngine:
     fault_plan: FaultPlan | None = None
     #: Retry/quarantine behaviour under the fault plan.
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    #: Observability sink (:mod:`repro.obs`).  The default null tracer is
+    #: permanently disabled; the hot loop reads its ``enabled`` flag once
+    #: per run, so untraced offloads pay no per-chunk cost.  ``REPRO_OBS``
+    #: can kill even an attached tracer (see ``resolve_tracer``).
+    tracer: Tracer | NullTracer = NULL_TRACER
     _chunk_log: list[tuple[int, IterRange]] = field(default_factory=list)
     _events: list[ChunkEvent] = field(default_factory=list)
     _faults: list[ChunkFault] = field(default_factory=list)
@@ -108,8 +116,12 @@ class OffloadEngine:
         devices = [Device(i, spec) for i, spec in enumerate(self.machine.devices)]
         for dev in devices:
             dev.reseed(self.seed)
+        obs = resolve_tracer(self.tracer)
+        traced = obs.enabled  # one attribute check; hot path branches on a local
+        met = obs.metrics if traced else None
         ctx = SchedContext(
-            kernel=kernel, devices=devices, cutoff_ratio=cutoff_ratio
+            kernel=kernel, devices=devices, cutoff_ratio=cutoff_ratio,
+            metrics=met,
         )
         scheduler.start(ctx)
         self._chunk_log.clear()
@@ -142,6 +154,11 @@ class OffloadEngine:
             waiting = [s for s in states if s.at_barrier is not None]
             t_rel = max(s.at_barrier for s in waiting)  # type: ignore[type-var]
             for s in waiting:
+                if traced and t_rel > s.at_barrier:  # type: ignore[operator]
+                    obs.span(
+                        _sp.SPAN_BARRIER, _sp.CAT_STAGE, s.device.devid,
+                        s.device.name, s.at_barrier, t_rel,
+                    )
                 s.trace.barrier_s += t_rel - s.at_barrier  # type: ignore[operator]
                 s.at_barrier = None
                 heapq.heappush(heap, (t_rel, s.device.devid))
@@ -402,6 +419,59 @@ class OffloadEngine:
             tr.retry_s += pad_in + pad_out
             tr.retries += retried
 
+            if traced:
+                # Mirror exactly what the legacy DeviceTrace buckets charge
+                # (the obs equivalence test pins the two paths together).
+                dn = st.device.name
+                ck = (chunk.start, chunk.stop)
+                obs.span(
+                    _sp.SPAN_SCHED, _sp.CAT_SCHED, devid, dn,
+                    t, t + t_sched, chunk=ck,
+                )
+                met.observe(
+                    "sched_decision_s", t_sched,
+                    device=dn, algorithm=scheduler.notation,
+                )
+                met.inc("sched_decisions", 1.0, device=dn)
+                if t_setup > 0.0:
+                    obs.span(
+                        _sp.SPAN_SETUP, _sp.CAT_SCHED, devid, dn,
+                        t + t_sched, acquire_end,
+                    )
+                if pad_in > 0.0:
+                    obs.span(
+                        _sp.SPAN_RETRY, _sp.CAT_FAULT, devid, dn,
+                        in_start, in_start + pad_in,
+                        stage="in", retries=retries_in, chunk=ck,
+                    )
+                if pad_out > 0.0:
+                    obs.span(
+                        _sp.SPAN_RETRY, _sp.CAT_FAULT, devid, dn,
+                        out_start, out_start + pad_out,
+                        stage="out", retries=retries_out, chunk=ck,
+                    )
+                if retried:
+                    met.inc("transfer_retries", retried, device=dn)
+                if in_ok:
+                    if t_in > 0.0:
+                        obs.span(
+                            _sp.SPAN_XFER_IN, _sp.CAT_STAGE, devid, dn,
+                            in_end - t_in, in_end,
+                            bytes=bytes_in, chunk=ck,
+                        )
+                    if t_comp > 0.0:
+                        obs.span(
+                            _sp.SPAN_COMPUTE, _sp.CAT_STAGE, devid, dn,
+                            comp_start, comp_end,
+                            iters=len(chunk), chunk=ck,
+                        )
+                if ok and t_out > 0.0:
+                    obs.span(
+                        _sp.SPAN_XFER_OUT, _sp.CAT_STAGE, devid, dn,
+                        out_end - t_out, out_end,
+                        bytes=cost.xfer_out_bytes, chunk=ck,
+                    )
+
             if self.record_events:
                 self._events.append(
                     ChunkEvent(
@@ -453,6 +523,19 @@ class OffloadEngine:
             tr.compute_s += t_comp
             tr.chunks += 1
             tr.iters += len(chunk)
+            if traced:
+                dn = st.device.name
+                obs.instant(
+                    _sp.MARK_CHUNK, _sp.CAT_MARK, devid, dn, out_end,
+                    iters=len(chunk), chunk=(chunk.start, chunk.stop),
+                    retries=retried,
+                )
+                met.inc("chunks_issued", 1.0, device=dn)
+                met.inc("iterations", len(chunk), device=dn)
+                met.observe(
+                    "chunk_iters", len(chunk), device=dn,
+                    buckets=_CHUNK_SIZE_BUCKETS,
+                )
             if plan_active:
                 health.record_success(devid)
 
@@ -499,8 +582,47 @@ class OffloadEngine:
             # Closing barrier: everyone alive waits for the slowest device
             # (lost devices never rejoin).
             if not s.lost:
+                if traced and total > s.finish:
+                    obs.span(
+                        _sp.SPAN_BARRIER, _sp.CAT_STAGE, s.device.devid,
+                        s.device.name, s.finish, total,
+                    )
                 s.trace.barrier_s += total - s.finish
             s.trace.finish_s = s.finish
+
+        if traced:
+            for s in participating:
+                obs.instant(
+                    _sp.MARK_FINISH, _sp.CAT_MARK, s.device.devid,
+                    s.device.name, s.finish,
+                )
+            for f in self._faults:
+                obs.instant(
+                    f"fault:{f.kind.value}", _sp.CAT_FAULT, f.devid,
+                    f.device_name, f.t,
+                    stage=f.stage, detail=f.detail,
+                    chunk=(
+                        (f.chunk.start, f.chunk.stop)
+                        if f.chunk is not None else None
+                    ),
+                )
+                met.inc(
+                    "fault_events", 1.0,
+                    kind=f.kind.value, device=f.device_name,
+                )
+                if f.kind is FaultKind.QUARANTINE:
+                    met.inc("quarantines", 1.0, device=f.device_name)
+            obs.span(
+                _sp.SPAN_OFFLOAD, _sp.CAT_OFFLOAD, -1, "", 0.0, total,
+                kernel=kernel.name, algorithm=scheduler.describe(),
+                machine=self.machine.name, seed=self.seed,
+            )
+            obs.meta.update(
+                kernel=kernel.name,
+                algorithm=scheduler.describe(),
+                machine=self.machine.name,
+                seed=self.seed,
+            )
 
         meta: dict = {"seed": self.seed, "machine": self.machine.name}
         if plan_active:

@@ -24,6 +24,8 @@ from repro.errors import OffloadError
 from repro.kernels.base import LoopKernel
 from repro.machine.device import Device
 from repro.machine.spec import MachineSpec
+from repro.obs import span as _sp
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, resolve_tracer
 from repro.sched.base import BARRIER, LoopScheduler, SchedContext
 
 __all__ = ["ThreadedEngine"]
@@ -34,6 +36,9 @@ class ThreadedEngine:
     """Executes an offload with one real host thread per device."""
 
     machine: MachineSpec
+    #: Observability sink; spans carry *wall* time (``perf_counter``
+    #: offsets from offload start), unlike the simulator's virtual time.
+    tracer: Tracer | NullTracer = NULL_TRACER
 
     def run(
         self,
@@ -43,7 +48,13 @@ class ThreadedEngine:
         cutoff_ratio: float = 0.0,
     ) -> OffloadResult:
         devices = [Device(i, spec) for i, spec in enumerate(self.machine.devices)]
-        ctx = SchedContext(kernel=kernel, devices=devices, cutoff_ratio=cutoff_ratio)
+        obs = resolve_tracer(self.tracer)
+        traced = obs.enabled
+        met = obs.metrics if traced else None
+        ctx = SchedContext(
+            kernel=kernel, devices=devices, cutoff_ratio=cutoff_ratio,
+            metrics=met,
+        )
         scheduler.start(ctx)
 
         lock = threading.Lock()
@@ -64,7 +75,24 @@ class ThreadedEngine:
             try:
                 while True:
                     with lock:
+                        dec_t0 = time.perf_counter()
                         decision = scheduler.next(devid)
+                        dec_t1 = time.perf_counter()
+                        if traced:
+                            obs.span(
+                                _sp.SPAN_SCHED, _sp.CAT_SCHED, devid,
+                                devices[devid].name,
+                                dec_t0 - t0, dec_t1 - t0,
+                            )
+                            met.observe(
+                                "sched_decision_s", dec_t1 - dec_t0,
+                                device=devices[devid].name,
+                                algorithm=scheduler.notation,
+                            )
+                            met.inc(
+                                "sched_decisions", 1.0,
+                                device=devices[devid].name,
+                            )
                         if decision is BARRIER:
                             gen = state["generation"]
                             state["arrived"].add(devid)
@@ -93,7 +121,8 @@ class ThreadedEngine:
                         state["covered"] += len(chunk)
                     start = time.perf_counter()
                     partial = kernel.execute_chunk(chunk, shared=True)
-                    elapsed = time.perf_counter() - start
+                    end = time.perf_counter()
+                    elapsed = end - start
                     with lock:
                         if kernel.is_reduction:
                             partials[devid] = kernel.combine(
@@ -104,6 +133,21 @@ class ThreadedEngine:
                         trace.chunks += 1
                         trace.iters += len(chunk)
                         trace.finish_s = time.perf_counter() - t0
+                        if traced:
+                            dn = devices[devid].name
+                            obs.span(
+                                _sp.SPAN_COMPUTE, _sp.CAT_STAGE, devid, dn,
+                                start - t0, end - t0,
+                                iters=len(chunk),
+                                chunk=(chunk.start, chunk.stop),
+                            )
+                            obs.instant(
+                                _sp.MARK_CHUNK, _sp.CAT_MARK, devid, dn,
+                                end - t0, iters=len(chunk),
+                                chunk=(chunk.start, chunk.stop), retries=0,
+                            )
+                            met.inc("chunks_issued", 1.0, device=dn)
+                            met.inc("iterations", len(chunk), device=dn)
             except BaseException as exc:  # surface worker failures to caller
                 with lock:
                     errors.append(exc)
@@ -125,6 +169,24 @@ class ThreadedEngine:
                 f"{kernel.n_iters} iterations"
             )
         total = time.perf_counter() - t0
+        if traced:
+            for tr in traces:
+                if tr.participated:
+                    obs.instant(
+                        _sp.MARK_FINISH, _sp.CAT_MARK, tr.devid, tr.name,
+                        tr.finish_s,
+                    )
+            obs.span(
+                _sp.SPAN_OFFLOAD, _sp.CAT_OFFLOAD, -1, "", 0.0, total,
+                kernel=kernel.name, algorithm=scheduler.describe(),
+                machine=self.machine.name,
+            )
+            obs.meta.update(
+                kernel=kernel.name,
+                algorithm=scheduler.describe(),
+                machine=self.machine.name,
+                executor="threaded",
+            )
         reduction = partials[0]
         for p in partials[1:]:
             reduction = kernel.combine(reduction, p)

@@ -108,7 +108,17 @@ class OffloadResult:
         return 100.0 * sum(idle) / len(idle)
 
     def breakdown_pct(self) -> dict[str, float]:
-        """Average Fig.-6-style breakdown over participating devices."""
+        """Average Fig.-6-style breakdown over participating devices.
+
+        This is the *unweighted* per-device mean of each device's
+        percentage breakdown, matching Fig. 6's "accumulated breakdown"
+        presentation: every participating device contributes equally,
+        regardless of how long it ran.  It is **not** time-weighted — a
+        device that finished in 1 ms at 90% compute pulls the average as
+        hard as one that ran 100 ms at 10% compute.  Sum the raw
+        ``DeviceTrace`` buckets first for a time-weighted view (see the
+        pinned two-device asymmetric case in ``tests/engine/test_trace``).
+        """
         parts = self.participating
         if not parts:
             return {"sched": 0.0, "data": 0.0, "compute": 0.0, "barrier": 0.0}

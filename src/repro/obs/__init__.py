@@ -1,0 +1,88 @@
+"""Observability subsystem: span tracing, metrics, trace exporters.
+
+Fig. 6 of the paper is an observability claim — per-device breakdowns of
+scheduling, data movement, compute and barrier time explain why each
+algorithm balances or fails.  ``repro.obs`` turns that from an aggregated
+after-the-fact table into a first-class runtime layer:
+
+* :class:`~repro.obs.tracer.Tracer` collects typed
+  :class:`~repro.obs.span.Span` records (offload → device → chunk →
+  sched/xfer_in/compute/xfer_out/retry/fault) in virtual time from the
+  simulator and wall time from the threaded engine;
+* :class:`~repro.obs.metrics.MetricsRegistry` accumulates deterministic
+  counters, gauges and fixed-bucket histograms (chunks, iterations,
+  retries, quarantines, cache hits, scheduler decision latencies);
+* :mod:`~repro.obs.export` renders Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``), JSONL span streams and Prometheus text;
+* :mod:`~repro.obs.analyze` recomputes ``imbalance_pct`` /
+  ``breakdown_pct`` from spans, pinned to the legacy ``DeviceTrace``
+  path by an equivalence test.
+
+Disabled (the default — no tracer attached, or ``REPRO_OBS=off``), the
+engines pay one attribute check per offload and results are bit-identical
+to a build without the subsystem.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.analyze import (
+    breakdown_pct_from_spans,
+    device_buckets,
+    finish_times_from_spans,
+    imbalance_pct_from_spans,
+    iterations_from_spans,
+    participating_devices,
+    total_time_from_spans,
+)
+from repro.obs.export import (
+    metrics_to_prom,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prom,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.span import Span
+from repro.obs.tracer import (
+    NULL_TRACER,
+    OBS_ENV,
+    NullTracer,
+    Tracer,
+    obs_enabled,
+    resolve_tracer,
+)
+
+__all__ = [
+    # span / tracer
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "OBS_ENV",
+    "obs_enabled",
+    "resolve_tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # export
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "metrics_to_prom",
+    "write_prom",
+    # analyses
+    "device_buckets",
+    "participating_devices",
+    "total_time_from_spans",
+    "finish_times_from_spans",
+    "imbalance_pct_from_spans",
+    "breakdown_pct_from_spans",
+    "iterations_from_spans",
+]

@@ -1,0 +1,142 @@
+"""Span-derived analyses: Fig. 6 recomputed from the trace stream.
+
+The legacy path accumulates :class:`~repro.engine.trace.DeviceTrace`
+buckets *while* the engine runs; these functions recompute the same
+quantities purely from the emitted spans.  The equivalence test in
+``tests/obs`` pins the two paths together to 1e-9, which is the contract
+that makes the span stream trustworthy: anything Fig. 6 says, the trace
+says too.
+
+Bucket mapping (identical to ``DeviceTrace.breakdown_pct``):
+
+* ``sched``  = sched + setup spans
+* ``data``   = xfer_in + xfer_out + retry spans
+* ``compute``= compute spans
+* ``barrier``= barrier spans
+"""
+
+from __future__ import annotations
+
+from repro.obs.span import (
+    MARK_CHUNK,
+    MARK_FINISH,
+    SPAN_BARRIER,
+    SPAN_COMPUTE,
+    SPAN_OFFLOAD,
+    SPAN_RETRY,
+    SPAN_SCHED,
+    SPAN_SETUP,
+    SPAN_XFER_IN,
+    SPAN_XFER_OUT,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "device_buckets",
+    "participating_devices",
+    "total_time_from_spans",
+    "finish_times_from_spans",
+    "imbalance_pct_from_spans",
+    "breakdown_pct_from_spans",
+    "iterations_from_spans",
+]
+
+_BUCKET_NAMES = (
+    SPAN_SCHED,
+    SPAN_SETUP,
+    SPAN_XFER_IN,
+    SPAN_XFER_OUT,
+    SPAN_COMPUTE,
+    SPAN_BARRIER,
+    SPAN_RETRY,
+)
+
+
+def device_buckets(tracer: Tracer, devid: int) -> dict[str, float]:
+    """Summed span durations per bucket name for one device."""
+    out = {name: 0.0 for name in _BUCKET_NAMES}
+    for s in tracer.spans:
+        if s.devid == devid and s.name in out:
+            out[s.name] += s.duration
+    return out
+
+
+def participating_devices(tracer: Tracer) -> list[int]:
+    """Devices that completed at least one chunk (``chunk`` marks)."""
+    seen: list[int] = []
+    for s in tracer.spans:
+        if s.name == MARK_CHUNK and s.devid not in seen:
+            seen.append(s.devid)
+    return sorted(seen)
+
+
+def total_time_from_spans(tracer: Tracer) -> float:
+    """Duration of the run-level ``offload`` span (0.0 when absent)."""
+    for s in tracer.spans:
+        if s.name == SPAN_OFFLOAD:
+            return s.duration
+    return 0.0
+
+
+def finish_times_from_spans(tracer: Tracer) -> dict[int, float]:
+    """devid -> pipeline-drain time, from the ``finish`` marks."""
+    return {
+        s.devid: s.t0 for s in tracer.spans if s.name == MARK_FINISH
+    }
+
+
+def imbalance_pct_from_spans(tracer: Tracer) -> float:
+    """The Fig. 6 imbalance curve, recomputed from spans.
+
+    Mean idle fraction over participating devices — the same formula as
+    :meth:`~repro.engine.trace.OffloadResult.imbalance_pct`.
+    """
+    parts = participating_devices(tracer)
+    total = total_time_from_spans(tracer)
+    if not parts or total <= 0:
+        return 0.0
+    finish = finish_times_from_spans(tracer)
+    idle = [max(0.0, total - finish.get(d, 0.0)) / total for d in parts]
+    return 100.0 * sum(idle) / len(idle)
+
+
+def _device_breakdown_pct(buckets: dict[str, float]) -> dict[str, float]:
+    busy = sum(buckets.values())  # all seven bucket names, incl. barrier
+    if busy <= 0:
+        return {"sched": 0.0, "data": 0.0, "compute": 0.0, "barrier": 0.0}
+    data = (
+        buckets[SPAN_XFER_IN] + buckets[SPAN_XFER_OUT] + buckets[SPAN_RETRY]
+    )
+    return {
+        "sched": 100.0 * (buckets[SPAN_SCHED] + buckets[SPAN_SETUP]) / busy,
+        "data": 100.0 * data / busy,
+        "compute": 100.0 * buckets[SPAN_COMPUTE] / busy,
+        "barrier": 100.0 * buckets[SPAN_BARRIER] / busy,
+    }
+
+
+def breakdown_pct_from_spans(tracer: Tracer) -> dict[str, float]:
+    """Fig.-6 breakdown recomputed from spans.
+
+    Unweighted mean of the per-device percentage breakdowns over
+    participating devices — matching
+    :meth:`~repro.engine.trace.OffloadResult.breakdown_pct` (see its
+    docstring for the averaging caveat).
+    """
+    parts = participating_devices(tracer)
+    if not parts:
+        return {"sched": 0.0, "data": 0.0, "compute": 0.0, "barrier": 0.0}
+    acc = {"sched": 0.0, "data": 0.0, "compute": 0.0, "barrier": 0.0}
+    for d in parts:
+        for k, v in _device_breakdown_pct(device_buckets(tracer, d)).items():
+            acc[k] += v
+    return {k: v / len(parts) for k, v in acc.items()}
+
+
+def iterations_from_spans(tracer: Tracer) -> dict[str, int]:
+    """Device name -> iterations completed, from the ``chunk`` marks."""
+    out: dict[str, int] = {}
+    for s in tracer.spans:
+        if s.name == MARK_CHUNK:
+            out[s.device] = out.get(s.device, 0) + int(s.arg("iters", 0))
+    return out

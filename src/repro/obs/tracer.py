@@ -1,0 +1,158 @@
+"""Tracers: where instrumented code sends its spans.
+
+Two implementations share one duck type:
+
+* :class:`Tracer` — records every span and instant in memory, alongside a
+  :class:`~repro.obs.metrics.MetricsRegistry`; this is what exporters and
+  analyses consume.
+* :class:`NullTracer` — the permanently disabled singleton
+  (:data:`NULL_TRACER`).  Instrumented hot paths read one attribute
+  (``tracer.enabled``) into a local bool and skip every emission when it
+  is False, so a run without observability pays a single attribute check
+  per offload, not per chunk.
+
+``REPRO_OBS=off`` (or ``0``/``false``/``no``) is the global kill switch:
+:func:`resolve_tracer` collapses *any* tracer to :data:`NULL_TRACER`, so
+an instrumented sweep can be A/B'd against a clean one without touching
+code.  The switch mirrors ``REPRO_FAULTS`` / ``REPRO_BENCH_CACHE``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span, freeze_args
+
+__all__ = [
+    "OBS_ENV",
+    "obs_enabled",
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+    "resolve_tracer",
+]
+
+OBS_ENV = "REPRO_OBS"
+
+
+def obs_enabled() -> bool:
+    """Global kill switch: ``REPRO_OBS=off`` disables every tracer."""
+    v = os.environ.get(OBS_ENV, "on").strip().lower()
+    return v not in ("off", "0", "false", "no")
+
+
+class NullTracer:
+    """No-op tracer; every emission is a constant-time discard."""
+
+    __slots__ = ()
+
+    enabled = False
+    clock = "none"
+    metrics: MetricsRegistry | None = None
+
+    def span(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    @property
+    def spans(self) -> list[Span]:
+        return []
+
+
+#: The shared disabled tracer (stateless, safe to share everywhere).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """In-memory span collector with an attached metrics registry.
+
+    ``clock`` documents the time base of the recorded spans:
+    ``"virtual"`` (the simulator's deterministic clock) or ``"wall"``
+    (the threaded engine's ``perf_counter`` offsets).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        clock: str = "virtual",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if clock not in ("virtual", "wall"):
+            raise ValueError(f"clock must be 'virtual' or 'wall', got {clock!r}")
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: list[Span] = []
+        #: Run-level context (kernel, algorithm, machine), set by engines.
+        self.meta: dict[str, Any] = {}
+
+    # -- emission --------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        devid: int,
+        device: str,
+        t0: float,
+        t1: float,
+        **args: Any,
+    ) -> None:
+        self.spans.append(
+            Span(
+                name=name,
+                cat=cat,
+                devid=devid,
+                device=device,
+                t0=t0,
+                t1=t1,
+                args=freeze_args(args),
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        devid: int,
+        device: str,
+        t: float,
+        **args: Any,
+    ) -> None:
+        self.span(name, cat, devid, device, t, t, **args)
+
+    # -- queries ---------------------------------------------------------------
+
+    def for_device(self, devid: int) -> list[Span]:
+        return [s for s in self.spans if s.devid == devid]
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def device_names(self) -> dict[int, str]:
+        """devid -> device name, for every device that emitted a span."""
+        out: dict[int, str] = {}
+        for s in self.spans:
+            if s.devid >= 0 and s.devid not in out:
+                out[s.devid] = s.device
+        return out
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.meta.clear()
+
+
+def resolve_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """The tracer an engine should actually emit to.
+
+    ``None`` or a disabled tracer resolves to :data:`NULL_TRACER`; so does
+    anything when the ``REPRO_OBS`` kill switch is off.
+    """
+    if tracer is None or not tracer.enabled or not obs_enabled():
+        return NULL_TRACER
+    return tracer

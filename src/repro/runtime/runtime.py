@@ -113,6 +113,7 @@ class HompRuntime:
         serialize_offload: bool = False,
         fault_plan: FaultPlan | None = None,
         resilience: ResiliencePolicy | None = None,
+        tracer=None,
         **sched_kwargs,
     ) -> OffloadResult:
         """Offload one parallel loop across the selected devices.
@@ -124,7 +125,9 @@ class HompRuntime:
         devices by an enclosing target-data region.  ``fault_plan`` —
         faults to inject (device ids in the plan index the *selected*
         devices, in selection order); ``resilience`` — retry/quarantine
-        policy for those faults (defaults apply when None).
+        policy for those faults (defaults apply when None).  ``tracer`` —
+        a :class:`repro.obs.Tracer` receiving the offload's span stream
+        (None = no tracing; ``REPRO_OBS=off`` force-disables any tracer).
         """
         ids = self.select_devices(devices)
         submachine = self.machine.subset(ids)
@@ -143,6 +146,8 @@ class HompRuntime:
             engine_kwargs["fault_plan"] = fault_plan
         if resilience is not None:
             engine_kwargs["resilience"] = resilience
+        if tracer is not None:
+            engine_kwargs["tracer"] = tracer
         engine = OffloadEngine(
             machine=submachine,
             seed=self.seed,

@@ -22,17 +22,26 @@ no iteration lost, none duplicated.
 :class:`SchedContext` gives schedulers the per-device analytic quantities
 of the paper's Table III (``ExeT``, ``DataT``, fixed costs) derived from
 the kernel's cost descriptors and the device specs.
+
+When the engine runs under an active tracer (:mod:`repro.obs`), the
+context also carries a ``metrics`` registry; schedulers may record their
+own counters/histograms through it (it is ``None`` — and must be left
+untouched — on untraced runs, which is the common case).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import SchedulingError
 from repro.kernels.base import ELEM, LoopKernel
 from repro.machine.device import Device
 from repro.util.ranges import IterRange
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["BARRIER", "Decision", "SchedContext", "LoopScheduler"]
 
@@ -58,6 +67,8 @@ class SchedContext:
     devices: list[Device]
     cutoff_ratio: float = 0.0
     chunk_pct: float = -1.0  # algorithm parameter; -1 = unused (paper notation)
+    #: Metrics sink for traced runs (None when observability is off).
+    metrics: "MetricsRegistry | None" = None
 
     def __post_init__(self) -> None:
         if not self.devices:

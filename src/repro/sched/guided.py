@@ -10,6 +10,8 @@ the *remaining* iterations (paper notation "SCHED_GUIDED,20%"), floored at
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import SchedulingError
 from repro.sched.base import Decision, LoopScheduler, SchedContext
 from repro.util.ranges import IterRange
@@ -17,6 +19,17 @@ from repro.util.ranges import IterRange
 __all__ = ["GuidedScheduler"]
 
 DEFAULT_FIRST_PCT = 0.20  # the paper's "SCHED_GUIDED,20%"
+
+
+def _round_half_up(x: float) -> int:
+    """``floor(x + 0.5)``: exact halves always round up.
+
+    Python's ``round()`` is banker's rounding (halves go to the nearest
+    *even* integer), so two configurations one iteration apart could
+    produce non-monotonic chunk sequences; half-up keeps chunk sizes a
+    monotonic function of the remaining iteration count.
+    """
+    return math.floor(x + 0.5)
 
 
 class GuidedScheduler(LoopScheduler):
@@ -42,14 +55,14 @@ class GuidedScheduler(LoopScheduler):
         else:
             # Default floor: 1/4 of the first chunk split across devices.
             self._min_chunk = max(
-                1, round(ctx.n_iters * self.first_pct / (4 * ctx.ndev))
+                1, _round_half_up(ctx.n_iters * self.first_pct / (4 * ctx.ndev))
             )
 
     def next(self, devid: int) -> Decision:
         remaining = self._stop - self._cursor
         if remaining <= 0:
             return None
-        size = max(self._min_chunk, round(remaining * self.first_pct))
+        size = max(self._min_chunk, _round_half_up(remaining * self.first_pct))
         size = min(size, remaining)
         start = self._cursor
         self._cursor = start + size

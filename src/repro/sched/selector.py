@@ -17,6 +17,7 @@ read off the machine spec.
 
 from __future__ import annotations
 
+from repro.errors import SchedulingError
 from repro.kernels.base import LoopKernel
 from repro.machine.spec import MachineSpec
 from repro.model.roofline import IntensityClass
@@ -25,6 +26,11 @@ __all__ = ["select_algorithm"]
 
 
 def _homogeneous(machine: MachineSpec) -> bool:
+    if not machine.devices:
+        raise SchedulingError(
+            f"machine {machine.name!r} has no devices to select an "
+            "algorithm for"
+        )
     first = machine.devices[0]
     return all(
         d.dev_type is first.dev_type
@@ -35,7 +41,16 @@ def _homogeneous(machine: MachineSpec) -> bool:
 
 
 def select_algorithm(kernel: LoopKernel, machine: MachineSpec) -> str:
-    """Paper-notation name of the algorithm the heuristics pick."""
+    """Paper-notation name of the algorithm the heuristics pick.
+
+    Raises :class:`~repro.errors.SchedulingError` (not ``IndexError``)
+    when the machine description carries no devices.
+    """
+    if not machine.devices:
+        raise SchedulingError(
+            f"machine {machine.name!r} has no devices to select an "
+            "algorithm for"
+        )
     klass = kernel.costs().intensity_class(kernel.n_iters)
     if klass is IntensityClass.COMPUTE_INTENSIVE:
         return "BLOCK" if _homogeneous(machine) else "MODEL_1_AUTO"

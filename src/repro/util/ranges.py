@@ -58,12 +58,24 @@ class IterRange:
 
     def expand(self, lo: int, hi: int, *, clamp: "IterRange | None" = None) -> "IterRange":
         """Grow by ``lo`` downward and ``hi`` upward (halo construction),
-        optionally clamped to an enclosing range."""
+        optionally clamped to an enclosing range.
+
+        A clamp window disjoint from the expanded range (or a negative
+        ``lo``/``hi`` shrinking past empty) yields an *empty* range rather
+        than an inverted one — positioned inside the clamp window when one
+        is given.
+        """
         start, stop = self.start - lo, self.stop + hi
         if clamp is not None:
             start = max(start, clamp.start)
             stop = min(stop, clamp.stop)
-        return IterRange(start, min(start, stop) if stop < start else stop)
+        if stop < start:
+            start = stop = (
+                min(max(start, clamp.start), clamp.stop)
+                if clamp is not None
+                else start
+            )
+        return IterRange(start, stop)
 
     def take(self, n: int) -> tuple["IterRange", "IterRange"]:
         """Split off the first ``n`` iterations: ``(head, rest)``."""

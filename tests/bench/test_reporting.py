@@ -2,12 +2,15 @@
 
 import csv
 
+import dataclasses
+
 import pytest
 import io
 from pathlib import Path
 
-from repro.bench.reporting import breakdown_to_csv, grid_to_csv
+from repro.bench.reporting import BREAKDOWN_COLUMNS, breakdown_to_csv, grid_to_csv
 from repro.bench.runner import run_grid, run_one
+from repro.engine.trace import DeviceTrace
 from repro.kernels.registry import make_kernel
 from repro.machine.presets import cpu_mic_node, full_node, gpu4_node
 from repro.machine.spec import MachineSpec
@@ -32,10 +35,55 @@ def test_grid_to_csv_round_trips():
 def test_breakdown_to_csv_covers_participants():
     result = run_one(full_node(), make_kernel("axpy", 2000), "SCHED_DYNAMIC")
     rows = list(csv.reader(io.StringIO(breakdown_to_csv(result))))
-    assert rows[0][0] == "device"
+    assert rows[0] == list(BREAKDOWN_COLUMNS)
     assert len(rows) - 1 == len(result.participating)
-    total_iters = sum(int(r[1]) for r in rows[1:])
+    iters_col = list(BREAKDOWN_COLUMNS).index("iters")
+    total_iters = sum(int(r[iters_col]) for r in rows[1:])
     assert total_iters == 2000
+
+
+def test_breakdown_columns_cover_every_trace_field():
+    # Regression: retry_s/retries/faults/lost_at used to be dropped from
+    # the CSV.  Deriving the columns from the dataclass means any field
+    # added to DeviceTrace must appear here — this fails if a future field
+    # is ever missed.
+    assert BREAKDOWN_COLUMNS == tuple(
+        f.name for f in dataclasses.fields(DeviceTrace)
+    )
+
+
+def test_breakdown_to_csv_round_trips_every_field():
+    # A synthetic trace with every field set to a distinct, recoverable
+    # value; parsing the CSV back must reproduce the trace exactly.
+    trace = DeviceTrace(
+        devid=3, name="k40-1", setup_s=0.001, sched_s=0.002,
+        xfer_in_s=0.003, xfer_out_s=0.004, compute_s=0.005,
+        barrier_s=0.006, chunks=7, iters=123, finish_s=0.021,
+        retry_s=0.008, retries=2, faults=1, lost_at=0.019,
+    )
+    healthy = DeviceTrace(devid=0, name="cpu-0", chunks=1, iters=1)
+    result = run_one(full_node(), make_kernel("axpy", 500), "BLOCK")
+    result.traces = [trace, healthy]
+    rows = list(csv.reader(io.StringIO(breakdown_to_csv(result))))
+    assert len(rows) == 3  # header + both participating devices
+
+    int_cols = {"devid", "chunks", "iters", "retries", "faults"}
+
+    def parse(row):
+        kwargs = {}
+        for col, cell in zip(BREAKDOWN_COLUMNS, row):
+            if cell == "":
+                kwargs[col] = None
+            elif col in int_cols:
+                kwargs[col] = int(cell)
+            elif col == "name":
+                kwargs[col] = cell
+            else:
+                kwargs[col] = float(cell)
+        return DeviceTrace(**kwargs)
+
+    assert parse(rows[1]) == trace
+    assert parse(rows[2]) == healthy
 
 
 def test_shipped_machine_files_match_presets():

@@ -82,3 +82,36 @@ def test_empty_result_metrics():
     r = OffloadResult(kernel_name="k", algorithm="A", total_time_s=0.0, traces=[])
     assert r.imbalance_pct() == 0.0
     assert r.breakdown_pct()["compute"] == 0.0
+
+
+def test_breakdown_pct_is_unweighted_per_device_mean():
+    """Pinned two-device asymmetric case (referenced from the docstring).
+
+    Device A: 1 ms total, 90% compute / 10% sched.
+    Device B: 100 ms total, 10% compute / 90% sched.
+
+    The documented contract is the *unweighted* mean of the per-device
+    percentages — (90+10)/2 = 50% compute — even though time-weighted
+    aggregation over the raw buckets would give ~10.8% compute.  If this
+    test fails, the aggregation semantics changed and the Fig. 6
+    reproduction (and its docstring) must be revisited.
+    """
+    a = trace(devid=0, name="fast", chunks=1, iters=1,
+              compute_s=0.0009, sched_s=0.0001, finish_s=0.001)
+    b = trace(devid=1, name="slow", chunks=1, iters=1,
+              compute_s=0.010, sched_s=0.090, finish_s=0.100)
+    r = OffloadResult(
+        kernel_name="k", algorithm="A", total_time_s=0.100, traces=[a, b]
+    )
+    pct = r.breakdown_pct()
+    assert pct["compute"] == pytest.approx(50.0)
+    assert pct["sched"] == pytest.approx(50.0)
+    assert pct["data"] == 0.0
+    assert pct["barrier"] == 0.0
+
+    # The time-weighted alternative is materially different — this pins
+    # that the two aggregations genuinely diverge on asymmetric devices.
+    total_busy = a.busy_s + b.busy_s
+    weighted_compute = 100.0 * (a.compute_s + b.compute_s) / total_busy
+    assert weighted_compute == pytest.approx(10.79, abs=0.01)
+    assert abs(weighted_compute - pct["compute"]) > 30.0

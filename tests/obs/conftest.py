@@ -1,0 +1,15 @@
+"""The obs suite owns the observability kill switch.
+
+Tests here assert *traced* behaviour, so an ambient ``REPRO_OBS=off``
+must not silently neuter them.  Tests that exercise the switch itself
+set it explicitly.
+"""
+
+import pytest
+
+from repro.obs.tracer import OBS_ENV
+
+
+@pytest.fixture(autouse=True)
+def obs_on(monkeypatch):
+    monkeypatch.delenv(OBS_ENV, raising=False)

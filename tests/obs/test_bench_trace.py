@@ -1,0 +1,101 @@
+"""run_grid(trace_dir=...) artifacts, cache interplay, and the CLI flag."""
+
+import json
+
+import pytest
+
+from repro.bench.cache import SweepCache
+from repro.bench.runner import run_grid
+from repro.bench.workloads import WorkloadFactory
+from repro.machine.presets import gpu4_node
+from repro.obs.tracer import OBS_ENV
+
+
+@pytest.fixture(autouse=True)
+def mem_cache(monkeypatch):
+    # Keep the sweep cache off disk so tests never touch .bench_cache/.
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "mem")
+
+
+def small_grid(trace_dir=None, cache=None):
+    return run_grid(
+        gpu4_node(),
+        {"axpy": WorkloadFactory("axpy", seed=0)},
+        policies=("BLOCK", "SCHED_DYNAMIC"),
+        trace_dir=trace_dir,
+        cache=cache if cache is not None else SweepCache(),
+    )
+
+
+def test_trace_dir_receives_all_artifacts(tmp_path):
+    out = tmp_path / "traces"
+    grid = small_grid(trace_dir=out)
+    names = sorted(p.name for p in out.iterdir())
+    assert names == [
+        "axpy.BLOCK.jsonl",
+        "axpy.BLOCK.trace.json",
+        "axpy.SCHED_DYNAMIC.jsonl",
+        "axpy.SCHED_DYNAMIC.trace.json",
+        "metrics.prom",
+    ]
+    doc = json.loads((out / "axpy.BLOCK.trace.json").read_text())
+    device_pids = {
+        e["pid"]
+        for e in doc["traceEvents"]
+        if e["ph"] != "M" and e["pid"] > 0
+    }
+    assert device_pids == {1, 2, 3, 4}  # one pid per K40
+    prom = (out / "metrics.prom").read_text()
+    assert "# TYPE chunks_issued counter" in prom
+    assert "bench_cache_puts" in prom
+    assert grid.time_ms("axpy", "BLOCK") > 0
+
+
+def test_traced_results_identical_and_cached(tmp_path):
+    cache = SweepCache()
+    plain = small_grid(cache=cache)
+    assert cache.stats.puts == 2
+    traced = small_grid(trace_dir=tmp_path / "t", cache=cache)
+    for policy in ("BLOCK", "SCHED_DYNAMIC"):
+        assert (
+            traced.results["axpy"][policy].total_time_s
+            == plain.results["axpy"][policy].total_time_s
+        )
+    # Tracing bypassed the cache reads (a hit has no spans to give) but
+    # still re-stored the bit-identical results.
+    assert cache.stats.puts == 4
+
+
+def test_kill_switch_ignores_trace_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(OBS_ENV, "off")
+    cache = SweepCache()
+    small_grid(cache=cache)
+    out = tmp_path / "never"
+    grid = small_grid(trace_dir=out, cache=cache)
+    assert not out.exists()  # nothing written at all
+    # With obs off, trace_dir doesn't even bypass the cache.
+    assert cache.stats.hits == 2
+    assert grid.time_ms("axpy", "BLOCK") > 0
+
+
+def test_cli_trace_flag_dispatches_to_traceable_targets(tmp_path, monkeypatch):
+    import repro.bench.__main__ as cli
+
+    calls = {}
+
+    class FakeResult:
+        text = "ok"
+
+    def fake_fig5(*, seed, trace_dir=None):
+        calls["fig5"] = (seed, trace_dir)
+        return FakeResult()
+
+    def fake_table5(*, seed):
+        calls["table5"] = (seed,)
+        return FakeResult()
+
+    monkeypatch.setitem(cli.GENERATORS, "fig5", fake_fig5)
+    monkeypatch.setitem(cli.GENERATORS, "table5", fake_table5)
+    assert cli.main(["fig5", "table5", "--trace", str(tmp_path)]) == 0
+    assert calls["fig5"] == (0, tmp_path / "fig5")
+    assert calls["table5"] == (0,)  # non-traceable targets get no trace_dir

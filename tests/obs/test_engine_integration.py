@@ -1,0 +1,97 @@
+"""Engine-level guarantees: tracing is a pure side channel, the kill
+switch restores the untraced fast path bit for bit, and both engines
+emit coherent streams."""
+
+import pickle
+
+import pytest
+
+from repro.engine.simulator import OffloadEngine
+from repro.engine.threaded import ThreadedEngine
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import cpu_spec, gpu4_node, homogeneous_node
+from repro.obs.span import MARK_CHUNK, MARK_FINISH, SPAN_OFFLOAD
+from repro.obs.tracer import OBS_ENV, Tracer
+from repro.sched.dynamic import DynamicScheduler
+
+
+def sim_result(tracer=None, n=1500):
+    kw = {} if tracer is None else {"tracer": tracer}
+    engine = OffloadEngine(machine=gpu4_node(), **kw)
+    return engine.run(make_kernel("axpy", n, seed=2), DynamicScheduler(0.1))
+
+
+class TestPureSideChannel:
+    def test_traced_result_equals_untraced(self):
+        untraced = sim_result()
+        traced = sim_result(Tracer())
+        assert pickle.dumps(traced) == pickle.dumps(untraced)
+
+    def test_kill_switch_restores_null_path(self, monkeypatch):
+        monkeypatch.setenv(OBS_ENV, "off")
+        tracer = Tracer()
+        result = sim_result(tracer)
+        assert tracer.spans == []  # engine resolved to NULL_TRACER
+        assert pickle.dumps(result) == pickle.dumps(sim_result())
+
+    def test_traced_runs_are_deterministic(self):
+        t1, t2 = Tracer(), Tracer()
+        sim_result(t1)
+        sim_result(t2)
+        assert t1.spans == t2.spans
+        assert t1.metrics.snapshot() == t2.metrics.snapshot()
+
+
+class TestSimulatorStream:
+    def test_stream_covers_all_iterations(self):
+        tracer = Tracer()
+        result = sim_result(tracer, n=2000)
+        marked = sum(
+            s.arg("iters") for s in tracer.spans if s.name == MARK_CHUNK
+        )
+        assert marked == 2000
+        finishes = [s for s in tracer.spans if s.name == MARK_FINISH]
+        assert len(finishes) == len(result.participating)
+
+    def test_offload_envelope_and_meta(self):
+        tracer = Tracer()
+        result = sim_result(tracer)
+        envelope = [s for s in tracer.spans if s.name == SPAN_OFFLOAD]
+        assert len(envelope) == 1
+        assert envelope[0].devid == -1
+        assert envelope[0].duration == pytest.approx(result.total_time_s)
+        assert envelope[0].arg("kernel") == "axpy"
+        assert tracer.meta["machine"] == gpu4_node().name
+
+
+class TestThreadedStream:
+    def test_wall_clock_stream(self):
+        tracer = Tracer(clock="wall")
+        engine = ThreadedEngine(
+            homogeneous_node(2, cpu_spec()), tracer=tracer
+        )
+        result = engine.run(
+            make_kernel("axpy", 20_000, seed=6), DynamicScheduler(0.1)
+        )
+        marked = sum(
+            s.arg("iters") for s in tracer.spans if s.name == MARK_CHUNK
+        )
+        assert marked == 20_000
+        envelope = [s for s in tracer.spans if s.name == SPAN_OFFLOAD]
+        assert len(envelope) == 1
+        assert envelope[0].duration == pytest.approx(result.total_time_s)
+        assert tracer.meta["executor"] == "threaded"
+        # Every next() call is a decision, including the terminal Nones, so
+        # there are at least as many decisions as chunks.
+        decisions = sum(
+            c.value
+            for c in tracer.metrics.counters()
+            if c.name == "sched_decisions"
+        )
+        chunks = sum(
+            c.value
+            for c in tracer.metrics.counters()
+            if c.name == "chunks_issued"
+        )
+        assert chunks == sum(t.chunks for t in result.participating)
+        assert decisions >= chunks

@@ -1,0 +1,118 @@
+"""The contract that makes the span stream trustworthy: every quantity the
+legacy ``DeviceTrace`` path reports is recomputable from spans to 1e-9."""
+
+import pytest
+
+from repro.engine.simulator import OffloadEngine
+from repro.faults.plan import DeviceDropout, FaultPlan, Slowdown, TransferError
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import full_node, gpu4_node
+from repro.obs.analyze import (
+    breakdown_pct_from_spans,
+    device_buckets,
+    finish_times_from_spans,
+    imbalance_pct_from_spans,
+    iterations_from_spans,
+    participating_devices,
+    total_time_from_spans,
+)
+from repro.obs.tracer import Tracer
+from repro.sched.registry import make_scheduler
+
+TOL = 1e-9
+
+POLICIES = (
+    "BLOCK",
+    "SCHED_DYNAMIC",
+    "SCHED_GUIDED",
+    "MODEL_2_AUTO",
+    "SCHED_PROFILE_AUTO",
+    "MODEL_PROFILE_AUTO",
+)
+
+
+def traced_run(machine, kernel, policy, **engine_kw):
+    tracer = Tracer()
+    engine = OffloadEngine(machine=machine, tracer=tracer, **engine_kw)
+    result = engine.run(kernel, make_scheduler(policy))
+    return tracer, result
+
+
+def assert_equivalent(tracer, result):
+    assert total_time_from_spans(tracer) == pytest.approx(
+        result.total_time_s, abs=TOL
+    )
+    assert participating_devices(tracer) == sorted(
+        t.devid for t in result.participating
+    )
+    finishes = finish_times_from_spans(tracer)
+    for t in result.participating:
+        assert finishes[t.devid] == pytest.approx(t.finish_s, abs=TOL)
+        buckets = device_buckets(tracer, t.devid)
+        assert buckets["sched"] == pytest.approx(t.sched_s, abs=TOL)
+        assert buckets["setup"] == pytest.approx(t.setup_s, abs=TOL)
+        assert buckets["xfer_in"] == pytest.approx(t.xfer_in_s, abs=TOL)
+        assert buckets["xfer_out"] == pytest.approx(t.xfer_out_s, abs=TOL)
+        assert buckets["compute"] == pytest.approx(t.compute_s, abs=TOL)
+        assert buckets["barrier"] == pytest.approx(t.barrier_s, abs=TOL)
+        assert buckets["retry"] == pytest.approx(t.retry_s, abs=TOL)
+    assert imbalance_pct_from_spans(tracer) == pytest.approx(
+        result.imbalance_pct(), abs=TOL
+    )
+    legacy = result.breakdown_pct()
+    derived = breakdown_pct_from_spans(tracer)
+    for key in ("sched", "data", "compute", "barrier"):
+        assert derived[key] == pytest.approx(legacy[key], abs=TOL)
+    iters = iterations_from_spans(tracer)
+    for t in result.participating:
+        assert iters[t.name] == t.iters
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_span_metrics_match_legacy_on_gpus(policy):
+    tracer, result = traced_run(
+        gpu4_node(), make_kernel("axpy", 3000, seed=5), policy
+    )
+    assert_equivalent(tracer, result)
+
+
+@pytest.mark.parametrize("policy", ("BLOCK", "SCHED_DYNAMIC", "MODEL_2_AUTO"))
+def test_span_metrics_match_legacy_on_heterogeneous_node(policy):
+    tracer, result = traced_run(
+        full_node(), make_kernel("matvec", 640, seed=3), policy
+    )
+    assert_equivalent(tracer, result)
+
+
+def test_span_metrics_match_legacy_under_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    plan = FaultPlan(
+        faults=(
+            Slowdown(devid=1, factor=3.0, t_start=0.0),
+            TransferError(devid=2, p_fail=0.3, seed=7),
+            DeviceDropout(devid=3, t=0.002),
+        )
+    )
+    tracer, result = traced_run(
+        gpu4_node(), make_kernel("axpy", 4000, seed=9), "SCHED_DYNAMIC",
+        fault_plan=plan,
+    )
+    assert_equivalent(tracer, result)
+    # The fault stream is mirrored as instants.
+    fault_spans = [s for s in tracer.spans if s.name.startswith("fault:")]
+    assert fault_spans
+    assert len(fault_spans) == result.meta["faults"]["events"]
+
+
+def test_metrics_registry_counts_match_result():
+    tracer, result = traced_run(
+        gpu4_node(), make_kernel("axpy", 2000, seed=1), "SCHED_DYNAMIC"
+    )
+    met = tracer.metrics
+    for t in result.participating:
+        assert met.counter_value("chunks_issued", device=t.name) == t.chunks
+        assert met.counter_value("iterations", device=t.name) == t.iters
+    total_chunks = sum(t.chunks for t in result.participating)
+    assert sum(
+        c.value for c in met.counters() if c.name == "sched_decisions"
+    ) == total_chunks

@@ -1,0 +1,136 @@
+"""Exporter shapes: Chrome trace-event JSON, JSONL, Prometheus text."""
+
+import json
+
+from repro.engine.simulator import OffloadEngine
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import gpu4_node
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_to_prom,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prom,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import CAT_FAULT, CAT_MARK, CAT_STAGE
+from repro.obs.tracer import Tracer
+from repro.sched.dynamic import DynamicScheduler
+
+
+def traced_run(n=800, machine=None):
+    tracer = Tracer()
+    machine = machine if machine is not None else gpu4_node()
+    engine = OffloadEngine(machine=machine, tracer=tracer)
+    result = engine.run(make_kernel("axpy", n), DynamicScheduler(0.1))
+    return tracer, result
+
+
+class TestChromeTrace:
+    def test_one_pid_per_device(self):
+        tracer, result = traced_run()
+        events = chrome_trace_events(tracer)
+        device_pids = {
+            e["pid"] for e in events if e["ph"] != "M" and e["pid"] > 0
+        }
+        assert device_pids == {
+            t.devid + 1 for t in result.participating
+        }
+
+    def test_process_metadata_names_devices(self):
+        tracer, result = traced_run()
+        events = chrome_trace_events(tracer)
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[0] == "offload"
+        for t in result.participating:
+            assert names[t.devid + 1] == f"dev{t.devid}:{t.name}"
+
+    def test_complete_events_have_ts_and_dur(self):
+        tracer, _ = traced_run()
+        complete = [
+            e for e in chrome_trace_events(tracer) if e.get("ph") == "X"
+        ]
+        assert complete
+        for e in complete:
+            assert e["ts"] >= 0
+            assert e["dur"] >= 0
+
+    def test_instants_are_thread_scoped(self):
+        tracer, _ = traced_run()
+        instants = [
+            e for e in chrome_trace_events(tracer) if e.get("ph") == "i"
+        ]
+        assert instants  # chunk and finish marks at minimum
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_fault_spans_are_colour_tagged(self):
+        t = Tracer()
+        t.span("retry", CAT_FAULT, 0, "k40-0", 0.0, 0.1, stage="in")
+        t.instant("fault:dropout", CAT_FAULT, 0, "k40-0", 0.5)
+        events = [e for e in chrome_trace_events(t) if e["ph"] != "M"]
+        cnames = {e["name"]: e.get("cname") for e in events}
+        assert cnames["retry"] == "bad"
+        assert cnames["fault:dropout"] == "terrible"
+
+    def test_top_level_object_shape(self):
+        tracer, _ = traced_run()
+        tracer.meta["kernel"] = "axpy"
+        doc = to_chrome_trace(tracer)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["clock"] == "virtual"
+        assert doc["otherData"]["kernel"] == "axpy"
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        tracer, _ = traced_run()
+        path = write_chrome_trace(tracer, tmp_path / "t.trace.json")
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+
+
+class TestJsonl:
+    def test_one_object_per_span(self):
+        tracer, _ = traced_run()
+        lines = to_jsonl(tracer).splitlines()
+        assert len(lines) == len(tracer.spans)
+        first = json.loads(lines[0])
+        assert set(first) == {
+            "name", "cat", "devid", "device", "t0", "t1", "args"
+        }
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        path = write_jsonl(Tracer(), tmp_path / "empty.jsonl")
+        assert path.read_text() == ""
+
+
+class TestProm:
+    def test_format_and_determinism(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.inc("chunks_issued", 5, device="cpu-0")
+            reg.inc("chunks_issued", 2, device="k40-1")
+            reg.set_gauge("cache_hits", 3)
+            reg.observe("sched_decision_s", 0.5, buckets=(1.0, 2.0))
+            return metrics_to_prom(reg)
+
+        text = build()
+        assert build() == text  # byte-identical on identical input
+        assert "# TYPE chunks_issued counter" in text
+        assert 'chunks_issued{device="cpu-0"} 5' in text
+        assert "# TYPE cache_hits gauge" in text
+        assert "# TYPE sched_decision_s histogram" in text
+        assert 'sched_decision_s_bucket{le="1"} 1' in text
+        assert 'sched_decision_s_bucket{le="+Inf"} 1' in text
+        assert "sched_decision_s_sum 0.5" in text
+        assert "sched_decision_s_count 1" in text
+
+    def test_write_prom(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("chunks_issued")
+        path = write_prom(reg, tmp_path / "m.prom")
+        assert path.read_text().endswith("chunks_issued 1\n")

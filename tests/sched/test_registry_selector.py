@@ -153,3 +153,16 @@ class TestSelector:
     def test_data_intensive_is_model2(self):
         assert select_algorithm(make_kernel("axpy", 1000), full_node()) == "MODEL_2_AUTO"
         assert select_algorithm(make_kernel("sum", 1000), gpu4_node()) == "MODEL_2_AUTO"
+
+    def test_zero_devices_raises_scheduling_error(self):
+        # Regression: machine.devices[0] used to raise a bare IndexError.
+        # MachineSpec itself rejects empty device tuples, so build the
+        # degenerate spec without running __init__/__post_init__.
+        from repro.errors import SchedulingError
+        from repro.machine.spec import MachineSpec
+
+        machine = object.__new__(MachineSpec)
+        object.__setattr__(machine, "name", "empty-node")
+        object.__setattr__(machine, "devices", ())
+        with pytest.raises(SchedulingError, match="no devices"):
+            select_algorithm(make_kernel("axpy", 100), machine)

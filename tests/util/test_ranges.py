@@ -58,6 +58,45 @@ class TestIterRange:
         out = IterRange(1, 4).expand(3, 3, clamp=IterRange(0, 5))
         assert out == IterRange(0, 5)
 
+    def test_expand_disjoint_clamp_below_is_empty(self):
+        # Regression: a clamp window entirely below the range used to make
+        # stop < start and raise ValueError from the IterRange constructor.
+        out = IterRange(10, 20).expand(0, 0, clamp=IterRange(0, 5))
+        assert out == IterRange(5, 5)
+        assert out.empty
+
+    def test_expand_disjoint_clamp_above_is_empty(self):
+        out = IterRange(0, 4).expand(0, 0, clamp=IterRange(10, 20))
+        assert out == IterRange(10, 10)
+        assert out.empty
+
+    def test_expand_negative_halo_collapses_to_empty(self):
+        # Negative lo/hi shrink the range; over-shrinking yields empty, not
+        # an exception.
+        out = IterRange(0, 4).expand(-3, -3)
+        assert out.empty
+
+    def test_expand_partial_overlap_still_clamps(self):
+        out = IterRange(2, 8).expand(1, 1, clamp=IterRange(4, 6))
+        assert out == IterRange(4, 6)
+
+    @given(
+        start=st.integers(-100, 100),
+        n=st.integers(0, 100),
+        lo=st.integers(-50, 50),
+        hi=st.integers(-50, 50),
+        c0=st.integers(-100, 100),
+        cn=st.integers(0, 100),
+    )
+    def test_property_expand_never_raises_and_respects_clamp(
+        self, start, n, lo, hi, c0, cn
+    ):
+        clamp = IterRange(c0, c0 + cn)
+        out = IterRange(start, start + n).expand(lo, hi, clamp=clamp)
+        assert out.stop >= out.start
+        assert out.start >= clamp.start
+        assert out.stop <= clamp.stop
+
     def test_take_splits_head(self):
         head, rest = IterRange(0, 10).take(4)
         assert head == IterRange(0, 4)

@@ -18,12 +18,21 @@ Quickstart::
     print(result.total_time_ms, result.iterations_per_device())
 """
 
-from repro.engine import DeviceTrace, OffloadEngine, OffloadResult
+from repro.engine import (
+    DeviceTrace,
+    OffloadEngine,
+    OffloadResult,
+    ThreadedEngine,
+    backend_names,
+    make_backend,
+    register_backend,
+)
 from repro.errors import (
     AlignmentError,
     DeviceError,
     DirectiveSyntaxError,
     DistributionError,
+    EngineBusyError,
     FaultError,
     FaultPlanError,
     HompError,
@@ -80,14 +89,18 @@ from repro.dist import Align, Auto, Block, Cyclic, Full, parse_policy
 from repro.lang import parse_device_clause, parse_directive
 from repro.obs import MetricsRegistry, Span, Tracer, write_chrome_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
     # engine
     "DeviceTrace",
     "OffloadEngine",
+    "ThreadedEngine",
     "OffloadResult",
+    "register_backend",
+    "backend_names",
+    "make_backend",
     # errors
     "HompError",
     "DirectiveSyntaxError",
@@ -98,6 +111,7 @@ __all__ = [
     "AlignmentError",
     "SchedulingError",
     "OffloadError",
+    "EngineBusyError",
     "FaultPlanError",
     "FaultError",
     # faults

@@ -66,17 +66,32 @@ def main(argv: list[str] | None = None) -> int:
             f"Prometheus metrics) for {sorted(TRACEABLE)} into DIR"
         ),
     )
+    parser.add_argument(
+        "--executor",
+        metavar="NAME",
+        help=(
+            "execution backend for grid cells (see repro.engine.core "
+            "backend_names(); default: the virtual-time simulator — the "
+            "only backend whose timings reproduce the paper's figures; "
+            "wall-clock backends bypass the sweep cache)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     targets = args.targets or list(GENERATORS)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
+    exec_kwargs = {} if args.executor is None else {"executor": args.executor}
     for name in targets:
         fn = GENERATORS[name]
         if name == "table4":
             result = fn()
         elif args.trace is not None and name in TRACEABLE:
-            result = fn(seed=args.seed, trace_dir=args.trace / name)
+            result = fn(
+                seed=args.seed, trace_dir=args.trace / name, **exec_kwargs
+            )
+        elif name in TRACEABLE:
+            result = fn(seed=args.seed, **exec_kwargs)
         else:
             result = fn(seed=args.seed)
         print(result.text)

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro import __version__
+from repro.engine.core import CORE_VERSION
 from repro.engine.trace import OffloadResult
 from repro.faults.plan import FaultPlan, faults_enabled
 from repro.faults.policy import ResiliencePolicy
@@ -99,6 +100,9 @@ def result_key(
     """
     payload = {
         "version": __version__,
+        # Cached results are virtual-time artifacts; any change to the
+        # execution core that could perturb them must bump CORE_VERSION.
+        "core": CORE_VERSION,
         "machine": machine.to_dict(),
         "workload": dict(workload_fp),
         "policy": str(policy),

@@ -60,25 +60,35 @@ def _grid_figure(
     *,
     seed: int = 0,
     trace_dir=None,
+    executor=None,
 ) -> FigureResult:
-    grid = run_grid(machine, _factories(seed), trace_dir=trace_dir)
+    grid = run_grid(
+        machine, _factories(seed), trace_dir=trace_dir, executor=executor
+    )
     headers = ["kernel"] + list(grid.policies)
     text = render_table(headers, grid.rows(), title=f"{name} — offload time (ms) on {machine.name}")
     return FigureResult(name=name, grid=grid, text=text)
 
 
-def fig5_gpu4(*, seed: int = 0, trace_dir=None) -> FigureResult:
+def fig5_gpu4(*, seed: int = 0, trace_dir=None, executor=None) -> FigureResult:
     """Fig. 5: offload time, 6 kernels x 7 policies, 4 identical K40s.
 
     ``trace_dir`` exports per-cell Chrome traces and grid metrics (see
     ``run_grid``); it changes nothing about the returned figure.
+    ``executor`` selects the execution backend for every cell (None = the
+    virtual-time simulator; wall-clock backends bypass the sweep cache).
     """
-    return _grid_figure("Fig. 5", gpu4_node(), seed=seed, trace_dir=trace_dir)
+    return _grid_figure(
+        "Fig. 5", gpu4_node(), seed=seed, trace_dir=trace_dir,
+        executor=executor,
+    )
 
 
-def fig6_breakdown(*, seed: int = 0, trace_dir=None) -> FigureResult:
+def fig6_breakdown(*, seed: int = 0, trace_dir=None, executor=None) -> FigureResult:
     """Fig. 6: accumulated breakdown (%) of offloading time + imbalance."""
-    grid = run_grid(gpu4_node(), _factories(seed), trace_dir=trace_dir)
+    grid = run_grid(
+        gpu4_node(), _factories(seed), trace_dir=trace_dir, executor=executor
+    )
     rows = []
     imbalances: dict[str, float] = {}
     for kname, row in grid.results.items():
@@ -126,17 +136,23 @@ def fig7_speedup(*, seed: int = 0, max_gpus: int = 4) -> FigureResult:
     )
 
 
-def fig8_cpu_mic(*, seed: int = 0, trace_dir=None) -> FigureResult:
+def fig8_cpu_mic(*, seed: int = 0, trace_dir=None, executor=None) -> FigureResult:
     """Fig. 8: offload time, 6 kernels x 7 policies, 2 CPUs + 2 MICs."""
-    return _grid_figure("Fig. 8", cpu_mic_node(), seed=seed, trace_dir=trace_dir)
+    return _grid_figure(
+        "Fig. 8", cpu_mic_node(), seed=seed, trace_dir=trace_dir,
+        executor=executor,
+    )
 
 
 def fig9_full_node(
-    *, seed: int = 0, cutoff_ratio: float = 0.15, trace_dir=None
+    *, seed: int = 0, cutoff_ratio: float = 0.15, trace_dir=None,
+    executor=None,
 ) -> FigureResult:
     """Fig. 9: full node (2 CPUs + 4 GPUs + 2 MICs), plus min-with-CUTOFF."""
     machine = full_node()
-    grid = run_grid(machine, _factories(seed), trace_dir=trace_dir)
+    grid = run_grid(
+        machine, _factories(seed), trace_dir=trace_dir, executor=executor
+    )
     cutoff_best: dict[str, float] = {}
     cutoff_algo: dict[str, str] = {}
     for kname in _FIG_KERNELS:
@@ -146,7 +162,7 @@ def fig9_full_node(
                        "MODEL_PROFILE_AUTO"):
             result = run_cell(
                 machine, WorkloadFactory(kname, seed=seed), policy,
-                cutoff_ratio=cutoff_ratio, seed=seed,
+                cutoff_ratio=cutoff_ratio, seed=seed, executor=executor,
             )
             if result.total_time_ms < best_ms:
                 best_ms = result.total_time_ms

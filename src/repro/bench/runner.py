@@ -22,6 +22,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.bench.cache import SweepCache, get_cache, result_key
+from repro.engine.core import resolve_backend
 from repro.engine.trace import OffloadResult
 from repro.errors import OffloadError
 from repro.faults.plan import FaultPlan
@@ -94,6 +95,17 @@ def engine_run_count() -> int:
     return _ENGINE_RUNS
 
 
+def _virtual_executor(executor: "str | type | None") -> bool:
+    """Whether ``executor`` resolves to the deterministic virtual backend.
+
+    Only virtual-time results are cacheable: wall-clock timings differ
+    run to run, so serving them from the sweep cache would be a lie.
+    """
+    if executor is None:
+        return True
+    return getattr(resolve_backend(executor), "backend_name", None) == "virtual"
+
+
 def run_one(
     machine: MachineSpec,
     kernel: LoopKernel,
@@ -105,6 +117,7 @@ def run_one(
     fault_plan: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
     tracer: Tracer | None = None,
+    executor: "str | type | None" = None,
 ) -> OffloadResult:
     """One kernel under one policy, verified.
 
@@ -113,6 +126,8 @@ def run_one(
     run must produce the same answer as the fault-free one.  ``tracer``
     receives the run's span stream (:mod:`repro.obs`); tracing is a pure
     side channel — the returned result is identical with or without it.
+    ``executor`` selects the execution backend (registry name or class;
+    None = the virtual-time simulator).
     """
     global _ENGINE_RUNS
     _ENGINE_RUNS += 1
@@ -120,6 +135,7 @@ def run_one(
     result = rt.parallel_for(
         kernel, schedule=policy, cutoff_ratio=cutoff_ratio,
         fault_plan=fault_plan, resilience=resilience, tracer=tracer,
+        executor=executor,
     )
     if verify:
         verify_result(kernel, result)
@@ -169,13 +185,15 @@ def run_cell(
     cache: SweepCache | None = None,
     fault_plan: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    executor: "str | type | None" = None,
 ) -> OffloadResult:
     """One grid cell through the sweep cache.
 
     Consults the cache (keyed by the factory's fingerprint) before
     building the kernel at all — a hit skips input generation, execution
     and verification entirely.  Misses run exactly like ``run_one`` and
-    populate the cache.
+    populate the cache.  Non-virtual executors bypass the cache both ways
+    (wall-clock results are not reproducible artifacts).
     """
     cache = get_cache() if cache is None else cache
     key = (
@@ -184,7 +202,7 @@ def run_cell(
             cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
             fault_plan=fault_plan, resilience=resilience,
         )
-        if cache.enabled
+        if cache.enabled and _virtual_executor(executor)
         else None
     )
     if key is not None:
@@ -194,7 +212,7 @@ def run_cell(
     result = run_one(
         machine, factory(), policy,
         cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
-        fault_plan=fault_plan, resilience=resilience,
+        fault_plan=fault_plan, resilience=resilience, executor=executor,
     )
     if key is not None:
         cache.put(key, result)
@@ -258,12 +276,13 @@ def _pool_cell(
     verify: bool,
     fault_plan: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    executor: str | None = None,
 ) -> OffloadResult:
     """One cell in a pool worker (kernel built, run and verified there)."""
     return run_one(
         machine, factory(), policy,
         cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
-        fault_plan=fault_plan, resilience=resilience,
+        fault_plan=fault_plan, resilience=resilience, executor=executor,
     )
 
 
@@ -280,6 +299,7 @@ def run_grid(
     fault_plan: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
     trace_dir: str | Path | None = None,
+    executor: "str | type | None" = None,
 ) -> PolicyGrid:
     """Sweep kernel factories over policies.
 
@@ -294,6 +314,10 @@ def run_grid(
     from the same seed).  Cells whose factories carry a cache fingerprint
     are served from / stored into the sweep cache; anonymous lambdas (and
     unpicklable factories, in pool mode) simply run in-process.
+
+    ``executor`` selects the execution backend for every cell (registry
+    name or class; None = the virtual-time simulator).  Only virtual
+    results touch the sweep cache — other backends' cells always run.
 
     ``trace_dir`` enables observability (:mod:`repro.obs`): every cell
     runs freshly traced (cache reads are bypassed — a cache hit has no
@@ -323,7 +347,7 @@ def run_grid(
                     cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
                     fault_plan=fault_plan, resilience=resilience,
                 )
-                if cache.enabled
+                if cache.enabled and _virtual_executor(executor)
                 else None
             )
             hit = (
@@ -338,7 +362,7 @@ def run_grid(
         _run_traced_cells(
             machine, pending, results, cache, Path(trace_dir),
             cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
-            fault_plan=fault_plan, resilience=resilience,
+            fault_plan=fault_plan, resilience=resilience, executor=executor,
         )
     elif workers > 0 and pending and _cells_picklable(machine, pending):
         with ProcessPoolExecutor(
@@ -347,7 +371,7 @@ def run_grid(
             futures = [
                 pool.submit(
                     _pool_cell, machine, factory, policy, cutoff_ratio,
-                    seed, verify, fault_plan, resilience,
+                    seed, verify, fault_plan, resilience, executor,
                 )
                 for _, factory, policy, _ in pending
             ]
@@ -362,6 +386,7 @@ def run_grid(
                 machine, factory(), policy,
                 cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
                 fault_plan=fault_plan, resilience=resilience,
+                executor=executor,
             )
             if key is not None:
                 cache.put(key, result)
@@ -384,6 +409,7 @@ def _run_traced_cells(
     verify: bool,
     fault_plan: FaultPlan | None,
     resilience: ResiliencePolicy | None,
+    executor: "str | type | None" = None,
 ) -> None:
     """Run grid cells with tracing, exporting artifacts per cell.
 
@@ -396,11 +422,13 @@ def _run_traced_cells(
     registry = MetricsRegistry()
     trace_dir.mkdir(parents=True, exist_ok=True)
     for kname, factory, policy, key in pending:
-        tracer = Tracer(clock="virtual", metrics=registry)
+        clock = "virtual" if _virtual_executor(executor) else "wall"
+        tracer = Tracer(clock=clock, metrics=registry)
         result = run_one(
             machine, factory(), policy,
             cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
             fault_plan=fault_plan, resilience=resilience, tracer=tracer,
+            executor=executor,
         )
         stem = f"{kname}.{policy}".replace("/", "_").replace(" ", "_")
         write_chrome_trace(tracer, trace_dir / f"{stem}.trace.json")

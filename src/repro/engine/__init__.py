@@ -1,21 +1,58 @@
 """Offload execution engine.
 
-The simulator (`repro.engine.simulator`) replays the paper's Fig. 4 proxy
-thread per device in deterministic virtual time, with a three-stage
-pipeline (copy-in / compute / copy-out engines) so multi-chunk schedulers
-overlap data movement with computation like a real double-buffered
-runtime.  A real-thread executor (`repro.engine.threaded`) is provided as
-an extension for actually-parallel host execution.
+One chunk-lifecycle state machine (`repro.engine.core`) drives every
+executor: scheduling decisions, fault draws and bounded retries, orphan
+reassignment, quarantine, trace buckets, observability spans, coverage
+and reduction accounting all live in the shared
+:class:`~repro.engine.core.RunContext`.  Backends supply only the
+scheduling of events in time and register themselves by name:
+
+* ``"virtual"`` — :class:`~repro.engine.simulator.OffloadEngine` replays
+  the paper's Fig. 4 proxy thread per device in deterministic virtual
+  time, with a three-stage pipeline (copy-in / compute / copy-out
+  engines) so multi-chunk schedulers overlap data movement with
+  computation like a real double-buffered runtime.
+* ``"threaded"`` — :class:`~repro.engine.threaded.ThreadedEngine` runs
+  one real host thread per device on a wall clock, with the same
+  fault/resilience semantics.
+
+Select a backend with ``HompRuntime.parallel_for(executor=...)`` or
+build one directly via :func:`~repro.engine.core.make_backend`.
 """
 
 from repro.engine.trace import DeviceTrace, OffloadResult
+from repro.engine.core import (
+    ChunkPhase,
+    EngineBase,
+    ExecutionBackend,
+    LIFECYCLE,
+    RunContext,
+    StageTiming,
+    backend_names,
+    make_backend,
+    register_backend,
+    resolve_backend,
+)
+# Importing the backend modules registers them.
 from repro.engine.simulator import OffloadEngine
+from repro.engine.threaded import ThreadedEngine
 from repro.engine.events import ChunkEvent, Timeline, render_timeline
 
 __all__ = [
     "DeviceTrace",
     "OffloadResult",
+    "ChunkPhase",
+    "LIFECYCLE",
+    "StageTiming",
+    "RunContext",
+    "EngineBase",
+    "ExecutionBackend",
+    "register_backend",
+    "backend_names",
+    "resolve_backend",
+    "make_backend",
     "OffloadEngine",
+    "ThreadedEngine",
     "ChunkEvent",
     "Timeline",
     "render_timeline",

@@ -1,0 +1,975 @@
+"""Shared offload execution core: one chunk-lifecycle state machine.
+
+Every executor — the virtual-time simulator (:mod:`repro.engine.simulator`)
+and the wall-clock thread pool (:mod:`repro.engine.threaded`) — drives the
+same per-chunk lifecycle::
+
+    request -> sched-decision -> xfer_in -> compute -> xfer_out -> observe
+                     |               |                     |
+                  barrier          retry ... retry       retry
+                     |               |                     |
+                   (wait)         requeue  ------------ requeue
+                                     |                     |
+                                 quarantine ---------- quarantine
+
+:class:`RunContext` owns everything that is *not* time: fault-plan draws
+and the bounded retry loop, orphan-chunk reassignment through the
+scheduler's ``requeue``/``device_lost`` hooks, quarantine via
+:class:`~repro.faults.policy.HealthTracker`, the
+:class:`~repro.engine.trace.DeviceTrace` bucket accounting, observability
+span/metric emission at each transition, coverage and reduction tracking,
+and the final :class:`~repro.engine.trace.OffloadResult` assembly.  A
+backend contributes only the *scheduling of events in time*: the simulator
+resolves the pipeline analytically on a virtual event heap
+(:class:`VirtualClock`); the threaded executor lets real threads race and
+reads a :class:`WallClock`.
+
+Backends register themselves in a process-wide registry
+(:func:`register_backend`) and are selected by name through
+``HompRuntime.parallel_for(executor=...)`` or ``repro.bench``.
+
+Determinism contract: for the virtual-time backend, routing the lifecycle
+through this module is **bit-identical** to the pre-core engine — the
+transition helpers replay the exact arithmetic, accumulation order and
+event-emission order of the original monolithic loop (pinned by
+``tests/engine/test_bit_identity.py`` and the CI smoke fixture).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, fields as dataclass_fields
+from enum import Enum
+from typing import Any, Callable, ClassVar, Protocol, runtime_checkable
+
+from repro.engine.events import ChunkEvent, Timeline
+from repro.engine.trace import DeviceTrace, OffloadResult
+from repro.errors import EngineBusyError, FaultError, OffloadError
+from repro.faults.events import ChunkFault, FaultKind
+from repro.faults.plan import FaultPlan, faults_enabled
+from repro.faults.policy import HealthTracker, ResiliencePolicy
+from repro.kernels.base import LoopKernel
+from repro.machine.device import Device
+from repro.machine.spec import MachineSpec
+from repro.obs import span as _sp
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS as _CHUNK_SIZE_BUCKETS
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, resolve_tracer
+from repro.sched.base import LoopScheduler, SchedContext
+from repro.util.ranges import IterRange, split_block
+
+__all__ = [
+    "CORE_VERSION",
+    "ChunkPhase",
+    "LIFECYCLE",
+    "StageTiming",
+    "DeviceState",
+    "RunContext",
+    "EngineBase",
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "ExecutionBackend",
+    "register_backend",
+    "backend_names",
+    "resolve_backend",
+    "make_backend",
+]
+
+#: Version of the execution core.  Part of the sweep-cache fingerprint:
+#: bump on any change that could perturb virtual-time results.
+CORE_VERSION = "1"
+
+
+# ---------------------------------------------------------------------------
+# Chunk lifecycle state machine
+# ---------------------------------------------------------------------------
+
+class ChunkPhase(Enum):
+    """Phases a chunk passes through inside one offload."""
+
+    REQUEST = "request"
+    SCHED = "sched-decision"
+    XFER_IN = "xfer_in"
+    COMPUTE = "compute"
+    XFER_OUT = "xfer_out"
+    OBSERVE = "observe"
+    DONE = "done"
+    RETRY = "retry"
+    REQUEUE = "requeue"
+    QUARANTINE = "quarantine"
+    LOST = "lost"
+
+
+#: Legal transitions.  ``RETRY`` loops on the transfer stages; a chunk whose
+#: retries are exhausted (or whose device died mid-flight) leaves through
+#: ``REQUEUE``/``LOST`` and is re-served to the survivors; ``QUARANTINE``
+#: additionally removes the device.
+LIFECYCLE: dict[ChunkPhase, frozenset[ChunkPhase]] = {
+    ChunkPhase.REQUEST: frozenset({ChunkPhase.SCHED, ChunkPhase.LOST}),
+    ChunkPhase.SCHED: frozenset({ChunkPhase.XFER_IN, ChunkPhase.LOST}),
+    ChunkPhase.XFER_IN: frozenset({
+        ChunkPhase.RETRY, ChunkPhase.COMPUTE, ChunkPhase.REQUEUE,
+        ChunkPhase.LOST,
+    }),
+    ChunkPhase.RETRY: frozenset({
+        ChunkPhase.XFER_IN, ChunkPhase.XFER_OUT, ChunkPhase.COMPUTE,
+        ChunkPhase.OBSERVE, ChunkPhase.REQUEUE, ChunkPhase.LOST,
+    }),
+    ChunkPhase.COMPUTE: frozenset({ChunkPhase.XFER_OUT, ChunkPhase.LOST}),
+    ChunkPhase.XFER_OUT: frozenset({
+        ChunkPhase.RETRY, ChunkPhase.OBSERVE, ChunkPhase.REQUEUE,
+        ChunkPhase.LOST,
+    }),
+    ChunkPhase.OBSERVE: frozenset({ChunkPhase.DONE}),
+    ChunkPhase.REQUEUE: frozenset({ChunkPhase.QUARANTINE, ChunkPhase.REQUEST}),
+    ChunkPhase.QUARANTINE: frozenset(),
+    ChunkPhase.LOST: frozenset(),
+    ChunkPhase.DONE: frozenset(),
+}
+
+
+@dataclass
+class StageTiming:
+    """Resolved timeline of one chunk's trip through the pipeline.
+
+    A backend fills the timestamps in its own notion of time (virtual or
+    wall seconds since offload start); the core charges trace buckets and
+    emits spans from them.  ``phase`` tracks the lifecycle position and is
+    validated against :data:`LIFECYCLE` on every transition.
+    """
+
+    chunk: IterRange
+    acquire_t: float = 0.0
+    t_sched: float = 0.0
+    t_setup: float = 0.0
+    t_in: float = 0.0
+    t_comp: float = 0.0
+    t_out: float = 0.0
+    pad_in: float = 0.0
+    pad_out: float = 0.0
+    retries_in: int = 0
+    retries_out: int = 0
+    in_ok: bool = True
+    out_ok: bool = True
+    in_start: float = 0.0
+    in_end: float = 0.0
+    comp_start: float = 0.0
+    comp_end: float = 0.0
+    out_start: float = 0.0
+    out_end: float = 0.0
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    dropped: bool = False
+    phase: ChunkPhase = ChunkPhase.REQUEST
+
+    @property
+    def retried(self) -> int:
+        return self.retries_in + self.retries_out
+
+    @property
+    def ok(self) -> bool:
+        return self.in_ok and self.out_ok and not self.dropped
+
+    def advance(self, to: ChunkPhase) -> None:
+        """Move to ``to``, enforcing the lifecycle transition table."""
+        if to not in LIFECYCLE[self.phase]:
+            raise OffloadError(
+                f"illegal chunk lifecycle transition "
+                f"{self.phase.value} -> {to.value} for chunk {self.chunk}"
+            )
+        self.phase = to
+
+
+@dataclass
+class DeviceState:
+    """Mutable per-device execution state shared by all backends."""
+
+    device: Device
+    trace: DeviceTrace
+    copy_in_free: float = 0.0
+    comp_free: float = 0.0
+    copy_out_free: float = 0.0
+    finish: float = 0.0
+    first_chunk: bool = True
+    done: bool = False
+    at_barrier: float | None = None
+    lost: bool = False  # permanently dead (dropout or quarantine)
+
+
+# ---------------------------------------------------------------------------
+# Clocks
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal time source a backend exposes to shared code."""
+
+    def now(self) -> float:
+        """Current offload time in seconds (virtual or wall)."""
+        ...  # pragma: no cover - protocol
+
+
+class VirtualClock:
+    """Event-heap clock for the discrete-event backend.
+
+    Time is whatever the most recently popped event says it is; devices
+    are linearised by a priority queue on ``(request_time, devid)``,
+    reproducing the ordering a CAS-based shared cursor produces, but
+    deterministically.
+    """
+
+    __slots__ = ("_heap", "_now")
+
+    def __init__(self, devids: list[int] | None = None):
+        import heapq
+
+        self._heap: list[tuple[float, int]] = [
+            (0.0, devid) for devid in (devids or [])
+        ]
+        heapq.heapify(self._heap)
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, t: float, devid: int) -> None:
+        import heapq
+
+        heapq.heappush(self._heap, (t, devid))
+
+    def pop(self) -> tuple[float, int]:
+        import heapq
+
+        t, devid = heapq.heappop(self._heap)
+        self._now = t
+        return t, devid
+
+
+class WallClock:
+    """Wall-clock time source, as seconds since the offload started."""
+
+    __slots__ = ("_t0",)
+
+    def __init__(self):
+        import time
+
+        self._t0 = time.perf_counter()
+
+    def now(self) -> float:
+        import time
+
+        return time.perf_counter() - self._t0
+
+
+# ---------------------------------------------------------------------------
+# The shared run context
+# ---------------------------------------------------------------------------
+
+class RunContext:
+    """All mutable state of one offload run, plus the transition helpers.
+
+    One instance is created per ``run()`` call and discarded with it, so a
+    mid-run exception cannot leak state into the next run and two engines
+    (or two runs racing on one engine — rejected anyway, see
+    :class:`EngineBase`) never share accounting.
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: MachineSpec,
+        kernel: LoopKernel,
+        scheduler: LoopScheduler,
+        cutoff_ratio: float = 0.0,
+        seed: int = 0,
+        execute_numerically: bool = True,
+        collect_chunks: bool = False,
+        record_events: bool = False,
+        fault_plan: FaultPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
+        tracer: Tracer | NullTracer | None = NULL_TRACER,
+        base_meta: dict | None = None,
+        obs_meta_extra: dict | None = None,
+    ):
+        self.machine = machine
+        self.kernel = kernel
+        self.scheduler = scheduler
+        self.seed = seed
+        self.execute_numerically = execute_numerically
+        self.collect_chunks = collect_chunks
+        self.record_events = record_events
+
+        self.devices = [Device(i, spec) for i, spec in enumerate(machine.devices)]
+        for dev in self.devices:
+            dev.reseed(seed)
+        self.obs = resolve_tracer(tracer)
+        #: one attribute check; hot paths branch on this local-able flag
+        self.traced = self.obs.enabled
+        self.met = self.obs.metrics if self.traced else None
+        self.sched_ctx = SchedContext(
+            kernel=kernel, devices=self.devices, cutoff_ratio=cutoff_ratio,
+            metrics=self.met,
+        )
+        scheduler.start(self.sched_ctx)
+
+        self.plan = fault_plan
+        self.plan_active = (
+            fault_plan is not None and not fault_plan.empty and faults_enabled()
+        )
+        resilience = ResiliencePolicy() if resilience is None else resilience
+        self.retry = resilience.retry
+        self.health = HealthTracker(resilience.quarantine_after)
+        self.xfer_attempts: dict[int, int] = {}  # per-device monotonic counters
+        self.orphans: deque[IterRange] = deque()
+
+        self.states = [
+            DeviceState(device=d, trace=DeviceTrace(devid=d.devid, name=d.name))
+            for d in self.devices
+        ]
+        self.reduction = kernel.identity()
+        self.covered = 0
+        self.chunk_log: list[tuple[int, IterRange]] = []
+        self.events: list[ChunkEvent] = []
+        self.faults: list[ChunkFault] = []
+
+        self.base_meta = dict(base_meta or {})
+        self.obs_meta_extra = dict(obs_meta_extra or {})
+
+        # Backend hooks, installed before the event loop starts:
+        #: revive an idle (drained) device because new work appeared.
+        self.wake: Callable[[DeviceState, float], None] = lambda st, t: None
+        #: re-check the barrier (a device just drained or died).
+        self.maybe_release_barrier: Callable[[], None] = lambda: None
+
+    # -- lifecycle entry -----------------------------------------------------
+
+    def begin_chunk(self, devid: int, chunk: IterRange, t: float) -> StageTiming:
+        """``request -> sched-decision``: a device acquired a chunk."""
+        if chunk.empty:
+            raise OffloadError(
+                f"{self.scheduler.notation} handed an empty chunk to "
+                f"device {devid}"
+            )
+        tm = StageTiming(chunk=chunk, acquire_t=t)
+        tm.advance(ChunkPhase.SCHED)
+        return tm
+
+    # -- fault machinery (identical draws and emission order to pre-core) ----
+
+    def emit_fault(
+        self,
+        kind: FaultKind,
+        st: DeviceState,
+        t_f: float,
+        *,
+        chunk: IterRange | None = None,
+        stage: str = "",
+        detail: str = "",
+    ) -> None:
+        self.faults.append(
+            ChunkFault(
+                kind=kind,
+                devid=st.device.devid,
+                device_name=st.device.name,
+                t=t_f,
+                chunk=chunk,
+                stage=stage,
+                detail=detail,
+            )
+        )
+
+    def add_orphan(self, chunk: IterRange, t_now: float) -> None:
+        """Reassign a lost chunk to the survivors and wake idle ones."""
+        alive = [s for s in self.states if not s.lost]
+        if not alive:
+            self.orphans.append(chunk)  # unrecoverable; reported at the end
+            return
+        if not self.scheduler.requeue(chunk):
+            self.orphans.extend(
+                p for p in split_block(chunk, len(alive)) if not p.empty
+            )
+        for s in alive:
+            if s.done:  # drained earlier; there is work again
+                s.done = False
+                self.wake(s, t_now)
+
+    def mark_lost(
+        self,
+        st: DeviceState,
+        t_lost: float,
+        kind: FaultKind,
+        *,
+        chunk: IterRange | None = None,
+        detail: str = "",
+    ) -> None:
+        """``-> lost``/``-> quarantine``: the device leaves permanently."""
+        st.lost = True
+        st.done = True
+        st.trace.lost_at = t_lost
+        self.emit_fault(kind, st, t_lost, chunk=chunk, detail=detail)
+        for reserved in self.scheduler.device_lost(st.device.devid):
+            self.add_orphan(reserved, t_lost)
+        # The dead device can no longer hold up a barrier.
+        self.maybe_release_barrier()
+
+    def transfer_attempts(
+        self,
+        st: DeviceState,
+        chunk: IterRange,
+        direction: str,
+        t_x: float,
+        start_t: float,
+        *,
+        sleep: Callable[[float], None] | None = None,
+    ) -> tuple[float, int, bool]:
+        """Outcome of one (possibly retried) transfer.
+
+        Returns ``(pad_s, retried, ok)``: time wasted on failed attempts
+        and backoffs, the number of retried attempts, and whether a
+        transfer eventually went through.  Draws come from the plan's
+        counter-based hash keyed on a per-device monotonic attempt
+        counter, so a re-served chunk faces fresh draws.  In virtual time
+        the pad is pure arithmetic; a wall-clock backend passes ``sleep``
+        to realise each failed attempt and backoff as real waiting.
+        """
+        if not self.plan_active or t_x <= 0.0:
+            return 0.0, 0, True
+        plan = self.plan
+        retry = self.retry
+        devid = st.device.devid
+        pad = 0.0
+        fails = 0
+        while True:
+            n = self.xfer_attempts.get(devid, 0)
+            self.xfer_attempts[devid] = n + 1
+            if not plan.transfer_fails(devid, n, direction):
+                return pad, fails, True
+            pad += t_x  # the failed attempt still occupied the link
+            if sleep is not None:
+                sleep(t_x)
+            fails += 1
+            if fails > retry.max_retries:
+                self.emit_fault(
+                    FaultKind.TRANSFER_FAIL,
+                    st,
+                    start_t + pad,
+                    chunk=chunk,
+                    stage=direction,
+                    detail=f"gave up after {fails} attempts",
+                )
+                return pad, fails - 1, False
+            self.emit_fault(
+                FaultKind.RETRY,
+                st,
+                start_t + pad,
+                chunk=chunk,
+                stage=direction,
+                detail=f"attempt {fails} failed",
+            )
+            backoff = retry.backoff(fails - 1)
+            pad += backoff
+            if sleep is not None:
+                sleep(backoff)
+
+    # -- barriers ------------------------------------------------------------
+
+    def barrier_ready(self) -> bool:
+        """All devices that can still work are parked at the barrier."""
+        pending = [s for s in self.states if not s.done and s.at_barrier is None]
+        waiting = [s for s in self.states if s.at_barrier is not None]
+        return not pending and bool(waiting)
+
+    def release_barrier(
+        self, wake: Callable[[DeviceState, float], None]
+    ) -> float:
+        """Charge barrier waits, release every parked device via ``wake``.
+
+        Returns the release time (the slowest arrival).
+        """
+        waiting = [s for s in self.states if s.at_barrier is not None]
+        t_rel = max(s.at_barrier for s in waiting)  # type: ignore[type-var]
+        for s in waiting:
+            if self.traced and t_rel > s.at_barrier:  # type: ignore[operator]
+                self.obs.span(
+                    _sp.SPAN_BARRIER, _sp.CAT_STAGE, s.device.devid,
+                    s.device.name, s.at_barrier, t_rel,
+                )
+            s.trace.barrier_s += t_rel - s.at_barrier  # type: ignore[operator]
+            s.at_barrier = None
+            wake(s, t_rel)
+        self.scheduler.at_barrier()
+        return t_rel
+
+    # -- per-chunk transition accounting --------------------------------------
+
+    def note_decision(self, st: DeviceState, t0: float, t1: float) -> None:
+        """Record a scheduling decision that yielded no chunk (barrier or
+        drain); chunk-bearing decisions are charged in :meth:`account_chunk`.
+        """
+        if self.traced:
+            dn = st.device.name
+            self.obs.span(
+                _sp.SPAN_SCHED, _sp.CAT_SCHED, st.device.devid, dn, t0, t1,
+            )
+            self.met.observe(
+                "sched_decision_s", t1 - t0,
+                device=dn, algorithm=self.scheduler.notation,
+            )
+            self.met.inc("sched_decisions", 1.0, device=dn)
+
+    def drop_chunk(self, st: DeviceState, tm: StageTiming, drop_t: float) -> None:
+        """``-> lost``: the device died before this chunk's outputs returned."""
+        tm.advance(ChunkPhase.LOST)
+        st.trace.faults += 1
+        if self.record_events:
+            self.events.append(
+                ChunkEvent(
+                    devid=st.device.devid,
+                    device_name=st.device.name,
+                    chunk=tm.chunk,
+                    acquire_t=tm.acquire_t,
+                    in_start=min(tm.in_start, drop_t),
+                    in_end=min(tm.in_end, drop_t),
+                    comp_start=min(tm.comp_start, drop_t),
+                    comp_end=min(tm.comp_end, drop_t),
+                    out_start=min(tm.out_start, drop_t),
+                    out_end=min(tm.out_end, drop_t),
+                    status="dropped",
+                    retries=tm.retried,
+                )
+            )
+        self.mark_lost(
+            st,
+            drop_t,
+            FaultKind.DROPOUT,
+            chunk=tm.chunk,
+            detail="chunk in flight was lost",
+        )
+        self.add_orphan(tm.chunk, drop_t)
+
+    def account_chunk(self, st: DeviceState, tm: StageTiming) -> None:
+        """Charge the overhead buckets and emit this chunk's stage spans.
+
+        Runs for every chunk that finished its pipeline (successfully or
+        with exhausted retries) — the bucket/ span structure mirrors
+        exactly what the pre-core engine charged, which the obs
+        equivalence tests pin against the legacy traces.
+        """
+        tr = st.trace
+        tr.setup_s += tm.t_setup
+        tr.sched_s += tm.t_sched
+        tr.retry_s += tm.pad_in + tm.pad_out
+        tr.retries += tm.retried
+
+        if self.traced:
+            obs = self.obs
+            met = self.met
+            devid = st.device.devid
+            dn = st.device.name
+            chunk = tm.chunk
+            ck = (chunk.start, chunk.stop)
+            obs.span(
+                _sp.SPAN_SCHED, _sp.CAT_SCHED, devid, dn,
+                tm.acquire_t, tm.acquire_t + tm.t_sched, chunk=ck,
+            )
+            met.observe(
+                "sched_decision_s", tm.t_sched,
+                device=dn, algorithm=self.scheduler.notation,
+            )
+            met.inc("sched_decisions", 1.0, device=dn)
+            if tm.t_setup > 0.0:
+                obs.span(
+                    _sp.SPAN_SETUP, _sp.CAT_SCHED, devid, dn,
+                    tm.acquire_t + tm.t_sched,
+                    tm.acquire_t + tm.t_sched + tm.t_setup,
+                )
+            if tm.pad_in > 0.0:
+                obs.span(
+                    _sp.SPAN_RETRY, _sp.CAT_FAULT, devid, dn,
+                    tm.in_start, tm.in_start + tm.pad_in,
+                    stage="in", retries=tm.retries_in, chunk=ck,
+                )
+            if tm.pad_out > 0.0:
+                obs.span(
+                    _sp.SPAN_RETRY, _sp.CAT_FAULT, devid, dn,
+                    tm.out_start, tm.out_start + tm.pad_out,
+                    stage="out", retries=tm.retries_out, chunk=ck,
+                )
+            if tm.retried:
+                met.inc("transfer_retries", tm.retried, device=dn)
+            if tm.in_ok:
+                if tm.t_in > 0.0:
+                    obs.span(
+                        _sp.SPAN_XFER_IN, _sp.CAT_STAGE, devid, dn,
+                        tm.in_end - tm.t_in, tm.in_end,
+                        bytes=tm.bytes_in, chunk=ck,
+                    )
+                if tm.t_comp > 0.0:
+                    obs.span(
+                        _sp.SPAN_COMPUTE, _sp.CAT_STAGE, devid, dn,
+                        tm.comp_start, tm.comp_end,
+                        iters=len(chunk), chunk=ck,
+                    )
+            if tm.ok and tm.t_out > 0.0:
+                obs.span(
+                    _sp.SPAN_XFER_OUT, _sp.CAT_STAGE, devid, dn,
+                    tm.out_end - tm.t_out, tm.out_end,
+                    bytes=tm.bytes_out, chunk=ck,
+                )
+
+        if self.record_events:
+            self.events.append(
+                ChunkEvent(
+                    devid=st.device.devid,
+                    device_name=st.device.name,
+                    chunk=tm.chunk,
+                    acquire_t=tm.acquire_t,
+                    in_start=tm.in_start,
+                    in_end=tm.in_end,
+                    comp_start=tm.comp_start,
+                    comp_end=tm.comp_end,
+                    out_start=tm.out_start,
+                    out_end=tm.out_end,
+                    status="ok" if tm.ok else "failed",
+                    retries=tm.retried,
+                )
+            )
+
+    def fail_chunk(self, st: DeviceState, tm: StageTiming) -> bool:
+        """``-> requeue`` (and maybe ``-> quarantine``) after exhausted
+        retries: the chunk's outputs never returned, the chunk is handed
+        back for reassignment, and the device's health streak is charged.
+
+        Returns True when this fault quarantined the device (the caller
+        must not schedule it again).
+        """
+        tm.advance(ChunkPhase.REQUEUE)
+        tr = st.trace
+        tr.faults += 1
+        if tm.in_ok:  # copy-in and compute did happen
+            tr.xfer_in_s += tm.t_in
+            tr.compute_s += tm.t_comp
+        self.add_orphan(tm.chunk, tm.out_end)
+        if self.health.record_failure(st.device.devid):
+            tm.advance(ChunkPhase.QUARANTINE)
+            self.mark_lost(
+                st,
+                tm.out_end,
+                FaultKind.QUARANTINE,
+                chunk=tm.chunk,
+                detail=(
+                    f"{self.health.consecutive_faults(st.device.devid)} "
+                    "consecutive chunk faults"
+                ),
+            )
+            return True
+        tm.advance(ChunkPhase.REQUEST)  # pipeline torn down; resume serially
+        return False
+
+    #: Sentinel: commit_chunk should execute the kernel itself.
+    _EXECUTE: ClassVar[object] = object()
+
+    def commit_chunk(
+        self,
+        st: DeviceState,
+        tm: StageTiming,
+        observe_elapsed: float,
+        *,
+        partial: Any = _EXECUTE,
+    ) -> None:
+        """``xfer_out -> observe -> done``: the chunk completed.
+
+        Charges the stage buckets, counts coverage, executes the kernel
+        numerically (exactly once per covered chunk) and feeds the
+        scheduler's ``observe`` hook with ``observe_elapsed``.  A backend
+        that must execute outside the core's call (the threaded backend
+        computes without holding its lock) passes the already-computed
+        ``partial`` instead; the reduction combine still happens here, in
+        commit order.
+        """
+        tm.advance(ChunkPhase.OBSERVE)
+        chunk = tm.chunk
+        devid = st.device.devid
+        self.covered += len(chunk)
+        if self.collect_chunks:
+            self.chunk_log.append((devid, chunk))
+        tr = st.trace
+        tr.xfer_in_s += tm.t_in
+        tr.xfer_out_s += tm.t_out
+        tr.compute_s += tm.t_comp
+        tr.chunks += 1
+        tr.iters += len(chunk)
+        if self.traced:
+            dn = st.device.name
+            self.obs.instant(
+                _sp.MARK_CHUNK, _sp.CAT_MARK, devid, dn, tm.out_end,
+                iters=len(chunk), chunk=(chunk.start, chunk.stop),
+                retries=tm.retried,
+            )
+            self.met.inc("chunks_issued", 1.0, device=dn)
+            self.met.inc("iterations", len(chunk), device=dn)
+            self.met.observe(
+                "chunk_iters", len(chunk), device=dn,
+                buckets=_CHUNK_SIZE_BUCKETS,
+            )
+        if self.plan_active:
+            self.health.record_success(devid)
+
+        if partial is RunContext._EXECUTE:
+            partial = (
+                self.kernel.execute_chunk(
+                    chunk, shared=st.device.shares_host_memory
+                )
+                if self.execute_numerically else None
+            )
+        if self.kernel.is_reduction and partial is not None:
+            self.reduction = self.kernel.combine(self.reduction, partial)
+
+        self.scheduler.observe(devid, chunk, observe_elapsed)
+        tm.advance(ChunkPhase.DONE)
+
+    # -- finalisation ---------------------------------------------------------
+
+    def finalize(self, total: float | None = None) -> OffloadResult:
+        """Coverage check, closing barrier, obs flush, result assembly.
+
+        ``total`` is the offload's end time; None (the virtual backend)
+        derives it from the slowest participating device.
+        """
+        kernel = self.kernel
+        scheduler = self.scheduler
+        states = self.states
+        if self.covered != kernel.n_iters:
+            lost = [s.device.name for s in states if s.lost]
+            if self.plan_active and lost:
+                raise FaultError(
+                    f"{scheduler.notation} covered {self.covered} of "
+                    f"{kernel.n_iters} iterations; devices lost: "
+                    f"{', '.join(lost)}; {len(self.orphans)} orphaned chunks "
+                    "were never adopted"
+                )
+            raise OffloadError(
+                f"{scheduler.notation} covered {self.covered} of "
+                f"{kernel.n_iters} iterations"
+            )
+
+        participating = [s for s in states if s.trace.participated]
+        if total is None:
+            total = max((s.finish for s in participating), default=0.0)
+        for s in participating:
+            # Closing barrier: everyone alive waits for the slowest device
+            # (lost devices never rejoin).
+            if not s.lost:
+                if self.traced and total > s.finish:
+                    self.obs.span(
+                        _sp.SPAN_BARRIER, _sp.CAT_STAGE, s.device.devid,
+                        s.device.name, s.finish, total,
+                    )
+                s.trace.barrier_s += total - s.finish
+            s.trace.finish_s = s.finish
+
+        if self.traced:
+            obs = self.obs
+            met = self.met
+            for s in participating:
+                obs.instant(
+                    _sp.MARK_FINISH, _sp.CAT_MARK, s.device.devid,
+                    s.device.name, s.finish,
+                )
+            for f in self.faults:
+                obs.instant(
+                    f"fault:{f.kind.value}", _sp.CAT_FAULT, f.devid,
+                    f.device_name, f.t,
+                    stage=f.stage, detail=f.detail,
+                    chunk=(
+                        (f.chunk.start, f.chunk.stop)
+                        if f.chunk is not None else None
+                    ),
+                )
+                met.inc(
+                    "fault_events", 1.0,
+                    kind=f.kind.value, device=f.device_name,
+                )
+                if f.kind is FaultKind.QUARANTINE:
+                    met.inc("quarantines", 1.0, device=f.device_name)
+            obs.span(
+                _sp.SPAN_OFFLOAD, _sp.CAT_OFFLOAD, -1, "", 0.0, total,
+                kernel=kernel.name, algorithm=scheduler.describe(),
+                machine=self.machine.name, seed=self.seed,
+            )
+            obs.meta.update(
+                kernel=kernel.name,
+                algorithm=scheduler.describe(),
+                machine=self.machine.name,
+                seed=self.seed,
+            )
+            if self.obs_meta_extra:
+                obs.meta.update(**self.obs_meta_extra)
+
+        meta: dict = dict(self.base_meta)
+        if self.plan_active:
+            meta["faults"] = {
+                "plan": self.plan.describe(),
+                "events": len(self.faults),
+                "retries": sum(
+                    1 for f in self.faults if f.kind is FaultKind.RETRY
+                ),
+                "lost": sorted(s.device.name for s in states if s.lost),
+                "quarantined": sorted(
+                    states[d].device.name for d in self.health.quarantined
+                ),
+            }
+        return OffloadResult(
+            kernel_name=kernel.name,
+            algorithm=scheduler.describe(),
+            total_time_s=total,
+            traces=[s.trace for s in states],
+            reduction=self.reduction if kernel.is_reduction else None,
+            meta=meta,
+        )
+
+    @property
+    def timeline(self) -> Timeline:
+        return Timeline(events=list(self.events), faults=list(self.faults))
+
+
+# ---------------------------------------------------------------------------
+# Engine base: run-slot guard and last-run introspection
+# ---------------------------------------------------------------------------
+
+class EngineBase:
+    """Re-entrancy guard plus last-run introspection for engine objects.
+
+    Engine instances are reusable but not concurrently so: each ``run()``
+    builds a fresh :class:`RunContext`, and a second ``run()`` entered
+    while one is still in flight raises :class:`~repro.errors.EngineBusyError`
+    instead of silently corrupting shared accounting.
+    """
+
+    # Deliberately *not* annotated: subclasses are dataclasses, and an
+    # annotated class attribute here would become their first field.
+    _run_ctx = None
+
+    def _begin_run(self, core: RunContext) -> None:
+        lock = self.__dict__.get("_run_gate")
+        if lock is None:
+            # setdefault is atomic under the GIL: exactly one lock survives.
+            lock = self.__dict__.setdefault("_run_gate", threading.Lock())
+        if not lock.acquire(blocking=False):
+            raise EngineBusyError(
+                f"{type(self).__name__} instance is already running an "
+                "offload; engines are reusable sequentially, not "
+                "concurrently — create one engine per in-flight run"
+            )
+        self._run_ctx = core
+
+    def _end_run(self) -> None:
+        self.__dict__["_run_gate"].release()
+
+    @property
+    def chunk_log(self) -> list[tuple[int, IterRange]]:
+        """(devid, chunk) assignments of the last run (collect_chunks=True)."""
+        return list(self._run_ctx.chunk_log) if self._run_ctx else []
+
+    @property
+    def timeline(self) -> Timeline:
+        """Chunk-event timeline of the last run (record_events=True)."""
+        if self._run_ctx is None:
+            return Timeline(events=[], faults=[])
+        return self._run_ctx.timeline
+
+    @property
+    def faults(self) -> list[ChunkFault]:
+        """Fault occurrences of the last run (empty for fault-free runs)."""
+        return list(self._run_ctx.faults) if self._run_ctx else []
+
+
+# ---------------------------------------------------------------------------
+# Backend protocol and registry
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What an executor must look like to be driven by the runtime."""
+
+    backend_name: ClassVar[str]
+    machine: MachineSpec
+
+    def run(
+        self,
+        kernel: LoopKernel,
+        scheduler: LoopScheduler,
+        *,
+        cutoff_ratio: float = 0.0,
+    ) -> OffloadResult:
+        """Execute one offloaded loop and return its result."""
+        ...  # pragma: no cover - protocol
+
+
+_BACKENDS: dict[str, type] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_backend(name: str, cls: type, *, aliases: tuple[str, ...] = ()) -> type:
+    """Register an :class:`ExecutionBackend` class under ``name``.
+
+    Canonical names are what :func:`backend_names` lists; aliases resolve
+    to them.  Re-registering a name replaces it (latest wins), so test
+    doubles can shadow the real backends.
+    """
+    key = name.strip().lower()
+    _BACKENDS[key] = cls
+    for alias in aliases:
+        _ALIASES[alias.strip().lower()] = key
+    return cls
+
+
+def backend_names() -> tuple[str, ...]:
+    """Canonical names of all registered execution backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_backend(spec: "str | type | ExecutionBackend") -> type:
+    """Backend class for a registry name, alias, class, or instance."""
+    if isinstance(spec, str):
+        key = spec.strip().lower()
+        key = _ALIASES.get(key, key)
+        try:
+            return _BACKENDS[key]
+        except KeyError:
+            raise OffloadError(
+                f"unknown execution backend {spec!r}; registered: "
+                f"{', '.join(backend_names())}"
+            ) from None
+    if isinstance(spec, type):
+        return spec
+    return type(spec)
+
+
+def make_backend(
+    spec: "str | type", machine: MachineSpec, **options: Any
+) -> "ExecutionBackend":
+    """Instantiate a backend, passing only the options it understands.
+
+    Backends are dataclasses; ``options`` the target has no field for are
+    dropped when falsy and rejected when set, so a caller cannot silently
+    lose a meaningful knob (e.g. ``serialize_offload`` on the threaded
+    backend).
+    """
+    cls = resolve_backend(spec)
+    names = {f.name for f in dataclass_fields(cls)}
+    kwargs = {}
+    for key, value in options.items():
+        if key in names:
+            kwargs[key] = value
+        elif value:  # a meaningful option the backend cannot honour
+            raise OffloadError(
+                f"execution backend {getattr(cls, 'backend_name', cls.__name__)!r}"
+                f" does not support option {key}={value!r}"
+            )
+    return cls(machine=machine, **kwargs)

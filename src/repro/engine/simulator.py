@@ -17,64 +17,57 @@ credits for SCHED_DYNAMIC's wins on data-intensive kernels).  Host devices
 run their chunks serially (the proxy *is* the compute resource).
 
 Chunk acquisition across devices is linearised by a priority queue on
-virtual request time, reproducing the ordering a real CAS-based shared
-cursor produces, but deterministically.  The kernel is executed
-numerically for every chunk (through the DeviceBuffer path), so the
-simulated timeline and the real numeric result come from the same chunk
-stream.
+virtual request time (:class:`~repro.engine.core.VirtualClock`),
+reproducing the ordering a real CAS-based shared cursor produces, but
+deterministically.  The kernel is executed numerically for every chunk
+(through the DeviceBuffer path), so the simulated timeline and the real
+numeric result come from the same chunk stream.
 
-When a :class:`~repro.faults.plan.FaultPlan` is attached, the engine
-consults it at each pipeline stage: slowdowns scale stage durations,
-transfer errors cost bounded retries with backoff (in virtual time), and
-dropouts remove a device permanently.  A chunk counts as covered — and is
-executed numerically — only if its whole pipeline succeeds, so the numeric
-result of a survivable faulted run matches the fault-free one; lost chunks
-are reassigned to the surviving devices through the scheduler's
-``requeue``/``device_lost`` hooks or an engine-level orphan queue.
+This module is the **virtual-time backend** of the shared execution core
+(:mod:`repro.engine.core`): the chunk lifecycle — fault draws, bounded
+retries, orphan reassignment, quarantine, trace buckets, observability
+spans, coverage/reduction accounting — lives in
+:class:`~repro.engine.core.RunContext`; this file only resolves *when*
+each pipeline stage happens (contention on PCIe groups, the serialised
+dispatch resource, unified-memory migration, double buffering) and walks
+the event heap.  When a :class:`~repro.faults.plan.FaultPlan` is attached,
+slowdowns scale stage durations, transfer errors cost bounded retries with
+backoff (in virtual time), and dropouts remove a device permanently; a
+chunk counts as covered — and is executed numerically — only if its whole
+pipeline succeeds, so the numeric result of a survivable faulted run
+matches the fault-free one.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from dataclasses import dataclass, field
 
-from repro.engine.events import ChunkEvent, Timeline
-from repro.engine.trace import DeviceTrace, OffloadResult
-from repro.errors import FaultError, OffloadError
-from repro.faults.events import ChunkFault, FaultKind
-from repro.faults.plan import FaultPlan, faults_enabled
-from repro.faults.policy import HealthTracker, ResiliencePolicy
+from repro.engine.core import (
+    ChunkPhase,
+    EngineBase,
+    RunContext,
+    VirtualClock,
+    register_backend,
+)
+from repro.engine.trace import OffloadResult
+from repro.faults.events import FaultKind
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
 from repro.kernels.base import LoopKernel
-from repro.machine.device import Device
 from repro.machine.spec import MachineSpec, MemoryKind
 from repro.memory.unified import UnifiedMemoryModel
-from repro.obs import span as _sp
-from repro.obs.metrics import DEFAULT_SIZE_BUCKETS as _CHUNK_SIZE_BUCKETS
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, resolve_tracer
-from repro.sched.base import BARRIER, LoopScheduler, SchedContext
-from repro.util.ranges import IterRange, split_block
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.sched.base import BARRIER, LoopScheduler
 
 __all__ = ["OffloadEngine"]
 
 
 @dataclass
-class _DevState:
-    device: Device
-    trace: DeviceTrace
-    copy_in_free: float = 0.0
-    comp_free: float = 0.0
-    copy_out_free: float = 0.0
-    finish: float = 0.0
-    first_chunk: bool = True
-    done: bool = False
-    at_barrier: float | None = None
-    lost: bool = False  # permanently dead (dropout or quarantine)
-
-
-@dataclass
-class OffloadEngine:
+class OffloadEngine(EngineBase):
     """Runs one kernel offload under one scheduling algorithm."""
+
+    #: Registry name of this backend (virtual-time discrete-event).
+    backend_name = "virtual"
 
     machine: MachineSpec
     seed: int = 0
@@ -102,9 +95,6 @@ class OffloadEngine:
     #: per run, so untraced offloads pay no per-chunk cost.  ``REPRO_OBS``
     #: can kill even an attached tracer (see ``resolve_tracer``).
     tracer: Tracer | NullTracer = NULL_TRACER
-    _chunk_log: list[tuple[int, IterRange]] = field(default_factory=list)
-    _events: list[ChunkEvent] = field(default_factory=list)
-    _faults: list[ChunkFault] = field(default_factory=list)
 
     def run(
         self,
@@ -113,257 +103,150 @@ class OffloadEngine:
         *,
         cutoff_ratio: float = 0.0,
     ) -> OffloadResult:
-        devices = [Device(i, spec) for i, spec in enumerate(self.machine.devices)]
-        for dev in devices:
-            dev.reseed(self.seed)
-        obs = resolve_tracer(self.tracer)
-        traced = obs.enabled  # one attribute check; hot path branches on a local
-        met = obs.metrics if traced else None
-        ctx = SchedContext(
-            kernel=kernel, devices=devices, cutoff_ratio=cutoff_ratio,
-            metrics=met,
+        core = RunContext(
+            machine=self.machine,
+            kernel=kernel,
+            scheduler=scheduler,
+            cutoff_ratio=cutoff_ratio,
+            seed=self.seed,
+            execute_numerically=self.execute_numerically,
+            collect_chunks=self.collect_chunks,
+            record_events=self.record_events,
+            fault_plan=self.fault_plan,
+            resilience=self.resilience,
+            tracer=self.tracer,
+            base_meta={"seed": self.seed, "machine": self.machine.name},
         )
-        scheduler.start(ctx)
-        self._chunk_log.clear()
-        self._events.clear()
-        self._faults.clear()
+        self._begin_run(core)
+        try:
+            return self._event_loop(core)
+        finally:
+            self._end_run()
 
-        plan = self.fault_plan
-        plan_active = plan is not None and not plan.empty and faults_enabled()
-        retry = self.resilience.retry
-        health = HealthTracker(self.resilience.quarantine_after)
-        xfer_attempts: dict[int, int] = {}  # per-device monotonic counters
-        orphans: deque[IterRange] = deque()
+    def _event_loop(self, core: RunContext) -> OffloadResult:
+        """Virtual-time event scheduling: the backend-specific part."""
+        kernel = core.kernel
+        scheduler = core.scheduler
+        states = core.states
+        plan = core.plan
+        plan_active = core.plan_active
+        unified_model = self.unified_model
+        serialize_offload = self.serialize_offload
+        double_buffer = self.double_buffer
 
-        states = [
-            _DevState(device=d, trace=DeviceTrace(devid=d.devid, name=d.name))
-            for d in devices
-        ]
-        reduction = kernel.identity()
-        covered = 0
         dispatch_free = 0.0  # shared host dispatcher (serialize_offload)
         # Devices sharing a PCIe slot contend for one bus resource.
         group_free: dict[str, float] = {}
 
-        # (request_time, devid): pop the earliest requester; devid breaks ties
-        # deterministically.
-        heap: list[tuple[float, int]] = [(0.0, d.devid) for d in devices]
-        heapq.heapify(heap)
+        clock = VirtualClock([s.device.devid for s in states])
+
+        def wake(st, t: float) -> None:
+            clock.push(max(t, st.finish), st.device.devid)
 
         def release_barrier() -> None:
-            waiting = [s for s in states if s.at_barrier is not None]
-            t_rel = max(s.at_barrier for s in waiting)  # type: ignore[type-var]
-            for s in waiting:
-                if traced and t_rel > s.at_barrier:  # type: ignore[operator]
-                    obs.span(
-                        _sp.SPAN_BARRIER, _sp.CAT_STAGE, s.device.devid,
-                        s.device.name, s.at_barrier, t_rel,
-                    )
-                s.trace.barrier_s += t_rel - s.at_barrier  # type: ignore[operator]
-                s.at_barrier = None
-                heapq.heappush(heap, (t_rel, s.device.devid))
-            scheduler.at_barrier()
-
-        def emit(
-            kind: FaultKind,
-            st: _DevState,
-            t_f: float,
-            *,
-            chunk: IterRange | None = None,
-            stage: str = "",
-            detail: str = "",
-        ) -> None:
-            self._faults.append(
-                ChunkFault(
-                    kind=kind,
-                    devid=st.device.devid,
-                    device_name=st.device.name,
-                    t=t_f,
-                    chunk=chunk,
-                    stage=stage,
-                    detail=detail,
-                )
+            core.release_barrier(
+                lambda st, t_rel: clock.push(t_rel, st.device.devid)
             )
 
-        def add_orphan(chunk: IterRange, t_now: float) -> None:
-            """Reassign a lost chunk to the survivors and wake idle ones."""
-            alive = [s for s in states if not s.lost]
-            if not alive:
-                orphans.append(chunk)  # unrecoverable; reported at the end
-                return
-            if not scheduler.requeue(chunk):
-                orphans.extend(
-                    p for p in split_block(chunk, len(alive)) if not p.empty
-                )
-            for s in alive:
-                if s.done:  # drained earlier; there is work again
-                    s.done = False
-                    heapq.heappush(heap, (max(t_now, s.finish), s.device.devid))
-
-        def mark_lost(
-            st: _DevState,
-            t_lost: float,
-            kind: FaultKind,
-            *,
-            chunk: IterRange | None = None,
-            detail: str = "",
-        ) -> None:
-            st.lost = True
-            st.done = True
-            st.trace.lost_at = t_lost
-            emit(kind, st, t_lost, chunk=chunk, detail=detail)
-            for reserved in scheduler.device_lost(st.device.devid):
-                add_orphan(reserved, t_lost)
-            # The dead device can no longer hold up a barrier.
-            pending = [s for s in states if not s.done and s.at_barrier is None]
-            waiting = [s for s in states if s.at_barrier is not None]
-            if not pending and waiting:
+        def maybe_release_barrier() -> None:
+            if core.barrier_ready():
                 release_barrier()
 
-        def transfer_attempts(
-            st: _DevState,
-            chunk: IterRange,
-            direction: str,
-            t_x: float,
-            start_t: float,
-        ) -> tuple[float, int, bool]:
-            """Outcome of one (possibly retried) transfer.
+        core.wake = wake
+        core.maybe_release_barrier = maybe_release_barrier
 
-            Returns ``(pad_s, retried, ok)``: virtual time wasted on failed
-            attempts and backoffs, the number of retried attempts, and
-            whether a transfer eventually went through.  Draws come from
-            the plan's counter-based hash keyed on a per-device monotonic
-            attempt counter, so a re-served chunk faces fresh draws.
-            """
-            if not plan_active or t_x <= 0.0:
-                return 0.0, 0, True
-            devid = st.device.devid
-            pad = 0.0
-            fails = 0
-            while True:
-                n = xfer_attempts.get(devid, 0)
-                xfer_attempts[devid] = n + 1
-                if not plan.transfer_fails(devid, n, direction):
-                    return pad, fails, True
-                pad += t_x  # the failed attempt still occupied the link
-                fails += 1
-                if fails > retry.max_retries:
-                    emit(
-                        FaultKind.TRANSFER_FAIL,
-                        st,
-                        start_t + pad,
-                        chunk=chunk,
-                        stage=direction,
-                        detail=f"gave up after {fails} attempts",
-                    )
-                    return pad, fails - 1, False
-                emit(
-                    FaultKind.RETRY,
-                    st,
-                    start_t + pad,
-                    chunk=chunk,
-                    stage=direction,
-                    detail=f"attempt {fails} failed",
-                )
-                pad += retry.backoff(fails - 1)
-
-        while heap:
-            t, devid = heapq.heappop(heap)
+        while clock.pending:
+            t, devid = clock.pop()
             st = states[devid]
             if st.done:
                 continue
             drop_t = plan.dropout_t(devid) if plan_active else None
             if drop_t is not None and t >= drop_t:
-                mark_lost(
+                core.mark_lost(
                     st, drop_t, FaultKind.DROPOUT, detail="lost while idle"
                 )
                 continue
             decision = scheduler.next(devid)
 
-            if decision is None and orphans:
+            if decision is None and core.orphans:
                 # Scheduler is drained but lost work remains: adopt it.
-                decision = orphans.popleft()
+                decision = core.orphans.popleft()
 
             if decision is None:
                 st.done = True
                 # If everyone else is parked at the barrier, release them.
-                pending = [s for s in states if not s.done and s.at_barrier is None]
-                waiting = [s for s in states if s.at_barrier is not None]
-                if not pending and waiting:
-                    release_barrier()
+                maybe_release_barrier()
                 continue
 
             if decision is BARRIER:
                 st.at_barrier = max(t, st.finish)
-                pending = [
-                    s for s in states if not s.done and s.at_barrier is None
-                ]
-                if not pending:
-                    release_barrier()
+                maybe_release_barrier()
                 continue
 
-            chunk: IterRange = decision  # type: ignore[assignment]
-            if chunk.empty:
-                raise OffloadError(
-                    f"{scheduler.notation} handed an empty chunk to device {devid}"
-                )
+            tm = core.begin_chunk(devid, decision, t)
+            chunk = tm.chunk
 
             spec = st.device.spec
             cost = kernel.chunk_cost(chunk)
-            bytes_in = cost.xfer_in_bytes + (
+            tm.bytes_in = cost.xfer_in_bytes + (
                 cost.replicated_in_bytes if st.first_chunk else 0.0
             )
-            t_setup = spec.setup_overhead_s if st.first_chunk else 0.0
+            tm.bytes_out = cost.xfer_out_bytes
+            tm.t_setup = spec.setup_overhead_s if st.first_chunk else 0.0
             st.first_chunk = False
 
-            t_sched = spec.sched_overhead_s
-            acquire_end = t + t_sched + t_setup
+            tm.t_sched = spec.sched_overhead_s
+            acquire_end = t + tm.t_sched + tm.t_setup
             if spec.memory is MemoryKind.UNIFIED:
                 # Unified memory: no explicit copies in the program, but
                 # the pages still cross the bus — at driver-migration
                 # speed (the 10-18x of paper section V.C).
-                t_in = self.unified_model.migration_time(spec.link, bytes_in)
-                t_out = self.unified_model.migration_time(
-                    spec.link, cost.xfer_out_bytes
-                )
+                t_in = unified_model.migration_time(spec.link, tm.bytes_in)
+                t_out = unified_model.migration_time(spec.link, tm.bytes_out)
             else:
-                t_in = st.device.transfer_time(bytes_in)
-                t_out = st.device.transfer_time(cost.xfer_out_bytes)
+                t_in = st.device.transfer_time(tm.bytes_in)
+                t_out = st.device.transfer_time(tm.bytes_out)
             t_comp = st.device.compute_time(cost.flops, cost.mem_bytes)
 
             group = spec.pcie_group
             in_start = max(acquire_end, st.copy_in_free)
-            if self.serialize_offload:
+            if serialize_offload:
                 in_start = max(in_start, dispatch_free)
             if group is not None:
                 in_start = max(in_start, group_free.get(group, 0.0))
             if plan_active:
                 t_in *= plan.slowdown_factor(devid, in_start)
-            pad_in, retries_in, in_ok = transfer_attempts(
+            tm.advance(ChunkPhase.XFER_IN)
+            tm.pad_in, tm.retries_in, tm.in_ok = core.transfer_attempts(
                 st, chunk, "in", t_in, in_start
             )
-            in_end = in_start + pad_in + t_in if in_ok else in_start + pad_in
-            if self.serialize_offload:
+            in_end = (
+                in_start + tm.pad_in + t_in if tm.in_ok
+                else in_start + tm.pad_in
+            )
+            if serialize_offload:
                 dispatch_free = in_end
             if group is not None and in_end > in_start:
                 group_free[group] = in_end
             comp_prev_end = st.comp_free
-            if in_ok:
+            if tm.in_ok:
+                tm.advance(ChunkPhase.COMPUTE)
                 comp_start = max(in_end, st.comp_free)
                 if plan_active:
                     t_comp *= plan.slowdown_factor(devid, comp_start)
                 comp_end = comp_start + t_comp
+                tm.advance(ChunkPhase.XFER_OUT)
                 out_start = max(comp_end, st.copy_out_free)
                 if group is not None:
                     out_start = max(out_start, group_free.get(group, 0.0))
                 if plan_active:
                     t_out *= plan.slowdown_factor(devid, out_start)
-                pad_out, retries_out, out_ok = transfer_attempts(
+                tm.pad_out, tm.retries_out, tm.out_ok = core.transfer_attempts(
                     st, chunk, "out", t_out, out_start
                 )
                 out_end = (
-                    out_start + pad_out + t_out if out_ok
-                    else out_start + pad_out
+                    out_start + tm.pad_out + t_out if tm.out_ok
+                    else out_start + tm.pad_out
                 )
                 if group is not None and out_end > out_start:
                     group_free[group] = out_end
@@ -371,42 +254,18 @@ class OffloadEngine:
                 # Copy-in never succeeded: compute and copy-out don't run.
                 comp_start = comp_end = in_end
                 out_start = out_end = in_end
-                pad_out, retries_out, out_ok = 0.0, 0, True
+                tm.pad_out, tm.retries_out, tm.out_ok = 0.0, 0, True
 
-            dropped = (
+            tm.t_in, tm.t_comp, tm.t_out = t_in, t_comp, t_out
+            tm.in_start, tm.in_end = in_start, in_end
+            tm.comp_start, tm.comp_end = comp_start, comp_end
+            tm.out_start, tm.out_end = out_start, out_end
+            tm.dropped = (
                 drop_t is not None and out_end > drop_t
             )  # the device dies before this chunk's outputs return
-            ok = in_ok and out_ok and not dropped
-            retried = retries_in + retries_out
-            tr = st.trace
 
-            if dropped:
-                tr.faults += 1
-                if self.record_events:
-                    self._events.append(
-                        ChunkEvent(
-                            devid=devid,
-                            device_name=st.device.name,
-                            chunk=chunk,
-                            acquire_t=t,
-                            in_start=min(in_start, drop_t),
-                            in_end=min(in_end, drop_t),
-                            comp_start=min(comp_start, drop_t),
-                            comp_end=min(comp_end, drop_t),
-                            out_start=min(out_start, drop_t),
-                            out_end=min(out_end, drop_t),
-                            status="dropped",
-                            retries=retried,
-                        )
-                    )
-                mark_lost(
-                    st,
-                    drop_t,
-                    FaultKind.DROPOUT,
-                    chunk=chunk,
-                    detail="chunk in flight was lost",
-                )
-                add_orphan(chunk, drop_t)
+            if tm.dropped:
+                core.drop_chunk(st, tm, drop_t)
                 continue
 
             st.copy_in_free = in_end
@@ -414,144 +273,23 @@ class OffloadEngine:
             st.copy_out_free = out_end
             st.finish = max(st.finish, out_end)
 
-            tr.setup_s += t_setup
-            tr.sched_s += t_sched
-            tr.retry_s += pad_in + pad_out
-            tr.retries += retried
+            core.account_chunk(st, tm)
 
-            if traced:
-                # Mirror exactly what the legacy DeviceTrace buckets charge
-                # (the obs equivalence test pins the two paths together).
-                dn = st.device.name
-                ck = (chunk.start, chunk.stop)
-                obs.span(
-                    _sp.SPAN_SCHED, _sp.CAT_SCHED, devid, dn,
-                    t, t + t_sched, chunk=ck,
-                )
-                met.observe(
-                    "sched_decision_s", t_sched,
-                    device=dn, algorithm=scheduler.notation,
-                )
-                met.inc("sched_decisions", 1.0, device=dn)
-                if t_setup > 0.0:
-                    obs.span(
-                        _sp.SPAN_SETUP, _sp.CAT_SCHED, devid, dn,
-                        t + t_sched, acquire_end,
-                    )
-                if pad_in > 0.0:
-                    obs.span(
-                        _sp.SPAN_RETRY, _sp.CAT_FAULT, devid, dn,
-                        in_start, in_start + pad_in,
-                        stage="in", retries=retries_in, chunk=ck,
-                    )
-                if pad_out > 0.0:
-                    obs.span(
-                        _sp.SPAN_RETRY, _sp.CAT_FAULT, devid, dn,
-                        out_start, out_start + pad_out,
-                        stage="out", retries=retries_out, chunk=ck,
-                    )
-                if retried:
-                    met.inc("transfer_retries", retried, device=dn)
-                if in_ok:
-                    if t_in > 0.0:
-                        obs.span(
-                            _sp.SPAN_XFER_IN, _sp.CAT_STAGE, devid, dn,
-                            in_end - t_in, in_end,
-                            bytes=bytes_in, chunk=ck,
-                        )
-                    if t_comp > 0.0:
-                        obs.span(
-                            _sp.SPAN_COMPUTE, _sp.CAT_STAGE, devid, dn,
-                            comp_start, comp_end,
-                            iters=len(chunk), chunk=ck,
-                        )
-                if ok and t_out > 0.0:
-                    obs.span(
-                        _sp.SPAN_XFER_OUT, _sp.CAT_STAGE, devid, dn,
-                        out_end - t_out, out_end,
-                        bytes=cost.xfer_out_bytes, chunk=ck,
-                    )
-
-            if self.record_events:
-                self._events.append(
-                    ChunkEvent(
-                        devid=devid,
-                        device_name=st.device.name,
-                        chunk=chunk,
-                        acquire_t=t,
-                        in_start=in_start,
-                        in_end=in_end,
-                        comp_start=comp_start,
-                        comp_end=comp_end,
-                        out_start=out_start,
-                        out_end=out_end,
-                        status="ok" if ok else "failed",
-                        retries=retried,
-                    )
-                )
-
-            if not ok:
+            if not tm.ok:
                 # Transfer retries exhausted: the chunk is lost (its outputs
                 # never returned), the device stays alive unless its fault
-                # streak quarantines it.
-                tr.faults += 1
-                if in_ok:  # copy-in and compute did happen
-                    tr.xfer_in_s += t_in
-                    tr.compute_s += t_comp
-                add_orphan(chunk, out_end)
-                if health.record_failure(devid):
-                    mark_lost(
-                        st,
-                        out_end,
-                        FaultKind.QUARANTINE,
-                        chunk=chunk,
-                        detail=(
-                            f"{health.consecutive_faults(devid)} consecutive "
-                            "chunk faults"
-                        ),
-                    )
-                else:
-                    # Pipeline state is torn down; resume serially.
-                    heapq.heappush(heap, (out_end, devid))
+                # streak quarantines it; pipeline state is torn down, so a
+                # surviving device resumes serially.
+                if not core.fail_chunk(st, tm):
+                    clock.push(out_end, devid)
                 continue
 
-            covered += len(chunk)
-            if self.collect_chunks:
-                self._chunk_log.append((devid, chunk))
-            tr.xfer_in_s += t_in
-            tr.xfer_out_s += t_out
-            tr.compute_s += t_comp
-            tr.chunks += 1
-            tr.iters += len(chunk)
-            if traced:
-                dn = st.device.name
-                obs.instant(
-                    _sp.MARK_CHUNK, _sp.CAT_MARK, devid, dn, out_end,
-                    iters=len(chunk), chunk=(chunk.start, chunk.stop),
-                    retries=retried,
-                )
-                met.inc("chunks_issued", 1.0, device=dn)
-                met.inc("iterations", len(chunk), device=dn)
-                met.observe(
-                    "chunk_iters", len(chunk), device=dn,
-                    buckets=_CHUNK_SIZE_BUCKETS,
-                )
-            if plan_active:
-                health.record_success(devid)
-
-            if self.execute_numerically:
-                partial = kernel.execute_chunk(
-                    chunk, shared=st.device.shares_host_memory
-                )
-                if kernel.is_reduction:
-                    reduction = kernel.combine(reduction, partial)
-
-            scheduler.observe(devid, chunk, t_in + t_comp + t_out)
+            core.commit_chunk(st, tm, t_in + t_comp + t_out)
 
             if st.device.shares_host_memory:
                 # The host proxy is the compute resource: strictly serial.
                 next_req = comp_end
-            elif self.double_buffer:
+            elif double_buffer:
                 # Double buffering: next request once this chunk's input is
                 # staged and at most one chunk is queued behind the running
                 # one.
@@ -560,103 +298,11 @@ class OffloadEngine:
                 # Ablation: single-buffered proxy drains the whole pipeline
                 # before asking for more work.
                 next_req = out_end
-            heapq.heappush(heap, (next_req, devid))
+            clock.push(next_req, devid)
 
-        if covered != kernel.n_iters:
-            lost = [s.device.name for s in states if s.lost]
-            if plan_active and lost:
-                raise FaultError(
-                    f"{scheduler.notation} covered {covered} of "
-                    f"{kernel.n_iters} iterations; devices lost: "
-                    f"{', '.join(lost)}; {len(orphans)} orphaned chunks "
-                    "were never adopted"
-                )
-            raise OffloadError(
-                f"{scheduler.notation} covered {covered} of {kernel.n_iters} "
-                "iterations"
-            )
+        return core.finalize()
 
-        participating = [s for s in states if s.trace.participated]
-        total = max((s.finish for s in participating), default=0.0)
-        for s in participating:
-            # Closing barrier: everyone alive waits for the slowest device
-            # (lost devices never rejoin).
-            if not s.lost:
-                if traced and total > s.finish:
-                    obs.span(
-                        _sp.SPAN_BARRIER, _sp.CAT_STAGE, s.device.devid,
-                        s.device.name, s.finish, total,
-                    )
-                s.trace.barrier_s += total - s.finish
-            s.trace.finish_s = s.finish
 
-        if traced:
-            for s in participating:
-                obs.instant(
-                    _sp.MARK_FINISH, _sp.CAT_MARK, s.device.devid,
-                    s.device.name, s.finish,
-                )
-            for f in self._faults:
-                obs.instant(
-                    f"fault:{f.kind.value}", _sp.CAT_FAULT, f.devid,
-                    f.device_name, f.t,
-                    stage=f.stage, detail=f.detail,
-                    chunk=(
-                        (f.chunk.start, f.chunk.stop)
-                        if f.chunk is not None else None
-                    ),
-                )
-                met.inc(
-                    "fault_events", 1.0,
-                    kind=f.kind.value, device=f.device_name,
-                )
-                if f.kind is FaultKind.QUARANTINE:
-                    met.inc("quarantines", 1.0, device=f.device_name)
-            obs.span(
-                _sp.SPAN_OFFLOAD, _sp.CAT_OFFLOAD, -1, "", 0.0, total,
-                kernel=kernel.name, algorithm=scheduler.describe(),
-                machine=self.machine.name, seed=self.seed,
-            )
-            obs.meta.update(
-                kernel=kernel.name,
-                algorithm=scheduler.describe(),
-                machine=self.machine.name,
-                seed=self.seed,
-            )
-
-        meta: dict = {"seed": self.seed, "machine": self.machine.name}
-        if plan_active:
-            meta["faults"] = {
-                "plan": plan.describe(),
-                "events": len(self._faults),
-                "retries": sum(
-                    1 for f in self._faults if f.kind is FaultKind.RETRY
-                ),
-                "lost": sorted(s.device.name for s in states if s.lost),
-                "quarantined": sorted(
-                    states[d].device.name for d in health.quarantined
-                ),
-            }
-        return OffloadResult(
-            kernel_name=kernel.name,
-            algorithm=scheduler.describe(),
-            total_time_s=total,
-            traces=[s.trace for s in states],
-            reduction=reduction if kernel.is_reduction else None,
-            meta=meta,
-        )
-
-    @property
-    def chunk_log(self) -> list[tuple[int, IterRange]]:
-        """(devid, chunk) assignments of the last run (collect_chunks=True)."""
-        return list(self._chunk_log)
-
-    @property
-    def timeline(self) -> Timeline:
-        """Chunk-event timeline of the last run (record_events=True)."""
-        return Timeline(events=list(self._events), faults=list(self._faults))
-
-    @property
-    def faults(self) -> list[ChunkFault]:
-        """Fault occurrences of the last run (empty for fault-free runs)."""
-        return list(self._faults)
+register_backend(
+    "virtual", OffloadEngine, aliases=("simulated", "simulator", "sim")
+)

@@ -1,4 +1,4 @@
-"""Real-thread executor (extension beyond the simulator).
+"""Real-thread executor: the wall-clock backend of the execution core.
 
 Runs the same kernel/scheduler machinery with actual host threads — one
 proxy thread per simulated device, a lock-protected shared chunk queue,
@@ -11,31 +11,76 @@ so this is *not* how figures are produced; it exists to
 
 Per the mpi4py/threading guidance for Python HPC code, the per-chunk work
 is NumPy-heavy (releases the GIL), so proxy threads do overlap.
+
+The chunk lifecycle — scheduling decisions, fault draws and bounded
+retries, orphan reassignment, quarantine, trace buckets, span/metric
+emission, coverage and the final result — is the shared core's
+(:class:`~repro.engine.core.RunContext`); this module only decides *when*
+things happen, on a :class:`~repro.engine.core.WallClock`.  That buys the
+threaded executor full fault/resilience parity with the simulator:
+
+* ``Slowdown`` stretches a chunk's compute by sleeping the extra time,
+* ``TransferError`` draws from the same counter-based hash against a
+  *nominal* link time (host-shared devices use a tiny epsilon so flaky
+  links still fire), with real backoff sleeps,
+* ``DeviceDropout`` (wall seconds since offload start) kills the proxy at
+  a chunk boundary; its in-flight chunk and reserved ranges are requeued
+  through ``scheduler.requeue``/``device_lost`` and drained by survivors.
+
+Exactly-once numerics: transfer outcomes and the dropout check are
+resolved *before* the kernel executes a chunk, so a failed or lost chunk
+was never applied to the output arrays and can be re-served safely (the
+simulator gets the same guarantee by only executing committed chunks).
+Wall-clock consequence: fault timestamps for the copy-out leg are stamped
+when the outcome is drawn, not where a real DMA would sit.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.engine.trace import DeviceTrace, OffloadResult
+from repro.engine.core import (
+    ChunkPhase,
+    EngineBase,
+    RunContext,
+    WallClock,
+    register_backend,
+)
+from repro.engine.trace import OffloadResult
 from repro.errors import OffloadError
+from repro.faults.events import FaultKind
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
 from repro.kernels.base import LoopKernel
-from repro.machine.device import Device
 from repro.machine.spec import MachineSpec
-from repro.obs import span as _sp
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, resolve_tracer
-from repro.sched.base import BARRIER, LoopScheduler, SchedContext
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.sched.base import BARRIER, LoopScheduler
 
 __all__ = ["ThreadedEngine"]
 
+#: Nominal transfer time credited to a host-shared link so fault draws
+#: still fire for devices whose real staging cost is zero.
+_EPS_XFER_S = 1e-9
+
 
 @dataclass
-class ThreadedEngine:
+class ThreadedEngine(EngineBase):
     """Executes an offload with one real host thread per device."""
 
+    #: Registry name of this backend (wall-clock, real threads).
+    backend_name = "threaded"
+
     machine: MachineSpec
+    seed: int = 0
+    execute_numerically: bool = True
+    collect_chunks: bool = False
+    record_events: bool = False
+    #: Faults to inject; times are wall seconds since offload start.
+    fault_plan: FaultPlan | None = None
+    #: Retry/quarantine behaviour under the fault plan.
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     #: Observability sink; spans carry *wall* time (``perf_counter``
     #: offsets from offload start), unlike the simulator's virtual time.
     tracer: Tracer | NullTracer = NULL_TRACER
@@ -47,115 +92,198 @@ class ThreadedEngine:
         *,
         cutoff_ratio: float = 0.0,
     ) -> OffloadResult:
-        devices = [Device(i, spec) for i, spec in enumerate(self.machine.devices)]
-        obs = resolve_tracer(self.tracer)
-        traced = obs.enabled
-        met = obs.metrics if traced else None
-        ctx = SchedContext(
-            kernel=kernel, devices=devices, cutoff_ratio=cutoff_ratio,
-            metrics=met,
+        core = RunContext(
+            machine=self.machine,
+            kernel=kernel,
+            scheduler=scheduler,
+            cutoff_ratio=cutoff_ratio,
+            seed=self.seed,
+            execute_numerically=self.execute_numerically,
+            collect_chunks=self.collect_chunks,
+            record_events=self.record_events,
+            fault_plan=self.fault_plan,
+            resilience=self.resilience,
+            tracer=self.tracer,
+            base_meta={
+                "executor": "threaded", "machine": self.machine.name,
+                "seed": self.seed,
+            },
+            obs_meta_extra={"executor": "threaded"},
         )
-        scheduler.start(ctx)
+        self._begin_run(core)
+        try:
+            return self._thread_loop(core)
+        finally:
+            self._end_run()
+
+    def _thread_loop(self, core: RunContext) -> OffloadResult:
+        """Wall-clock event scheduling: the backend-specific part."""
+        kernel = core.kernel
+        scheduler = core.scheduler
+        states = core.states
+        plan = core.plan
+        plan_active = core.plan_active
 
         lock = threading.Lock()
-        barrier_cond = threading.Condition(lock)
-        state = {
-            "arrived": set(),
-            "done": set(),
-            "generation": 0,
-            "covered": 0,
-        }
-        traces = [DeviceTrace(devid=d.devid, name=d.name) for d in devices]
-        partials: list[float | None] = [kernel.identity() for _ in devices]
+        cond = threading.Condition(lock)
         errors: list[BaseException] = []
-        t0 = time.perf_counter()
+        clock = WallClock()
+
+        core.wake = lambda st, t: cond.notify_all()
+
+        def maybe_release_barrier() -> None:
+            if core.barrier_ready():
+                core.release_barrier(lambda st, t_rel: None)
+                cond.notify_all()
+
+        core.maybe_release_barrier = maybe_release_barrier
 
         def proxy(devid: int) -> None:
-            trace = traces[devid]
+            st = states[devid]
+            drop_t = plan.dropout_t(devid) if plan_active else None
             try:
                 while True:
                     with lock:
-                        dec_t0 = time.perf_counter()
+                        if errors:
+                            return
+                        if (
+                            drop_t is not None
+                            and clock.now() >= drop_t
+                            and not st.lost
+                        ):
+                            core.mark_lost(
+                                st, drop_t, FaultKind.DROPOUT,
+                                detail="lost while idle",
+                            )
+                            cond.notify_all()
+                            return
+                        dec_t0 = clock.now()
                         decision = scheduler.next(devid)
-                        dec_t1 = time.perf_counter()
-                        if traced:
-                            obs.span(
-                                _sp.SPAN_SCHED, _sp.CAT_SCHED, devid,
-                                devices[devid].name,
-                                dec_t0 - t0, dec_t1 - t0,
-                            )
-                            met.observe(
-                                "sched_decision_s", dec_t1 - dec_t0,
-                                device=devices[devid].name,
-                                algorithm=scheduler.notation,
-                            )
-                            met.inc(
-                                "sched_decisions", 1.0,
-                                device=devices[devid].name,
-                            )
+                        dec_t1 = clock.now()
+                        if decision is None and core.orphans:
+                            # Scheduler drained but lost work remains.
+                            decision = core.orphans.popleft()
                         if decision is BARRIER:
-                            gen = state["generation"]
-                            state["arrived"].add(devid)
-                            active = set(range(len(devices))) - state["done"]
-                            if state["arrived"] >= active:
-                                scheduler.at_barrier()
-                                state["generation"] += 1
-                                state["arrived"].clear()
-                                barrier_cond.notify_all()
-                            else:
-                                while (
-                                    state["generation"] == gen and not errors
-                                ):
-                                    barrier_cond.wait(timeout=5.0)
+                            core.note_decision(st, dec_t0, dec_t1)
+                            st.at_barrier = dec_t1
+                            maybe_release_barrier()
+                            while st.at_barrier is not None and not errors:
+                                cond.wait(timeout=5.0)
                             continue
                         if decision is None:
-                            state["done"].add(devid)
-                            active = set(range(len(devices))) - state["done"]
-                            if state["arrived"] and state["arrived"] >= active:
-                                scheduler.at_barrier()
-                                state["generation"] += 1
-                                state["arrived"].clear()
-                                barrier_cond.notify_all()
-                            return
-                        chunk = decision
-                        state["covered"] += len(chunk)
-                    start = time.perf_counter()
-                    partial = kernel.execute_chunk(chunk, shared=True)
-                    end = time.perf_counter()
-                    elapsed = end - start
+                            core.note_decision(st, dec_t0, dec_t1)
+                            st.done = True
+                            maybe_release_barrier()
+                            cond.notify_all()
+                            # Park: a dying device may orphan work that
+                            # only this proxy can drain.  ``add_orphan``
+                            # revives us by clearing ``done``; the work
+                            # may sit in the scheduler (requeue accepted)
+                            # or in ``core.orphans``, so go back and ask.
+                            while st.done:
+                                if not any(not s.done for s in states):
+                                    return
+                                cond.wait(timeout=0.1)
+                                if errors:
+                                    return
+                            continue
+                        tm = core.begin_chunk(devid, decision, dec_t0)
+                        chunk = tm.chunk
+                        tm.t_sched = dec_t1 - dec_t0
+                        cost = kernel.chunk_cost(chunk)
+                        tm.bytes_in = cost.xfer_in_bytes + (
+                            cost.replicated_in_bytes if st.first_chunk else 0.0
+                        )
+                        tm.bytes_out = cost.xfer_out_bytes
+                        st.first_chunk = False
+                        # Pre-flight both (simulated) transfer legs: draws,
+                        # fault events and backoff sleeps happen now, so a
+                        # doomed chunk is never executed numerically.
+                        tm.advance(ChunkPhase.XFER_IN)
+                        tm.in_start = clock.now()
+                        if plan_active:
+                            t_nom_in = max(
+                                st.device.transfer_time(tm.bytes_in),
+                                _EPS_XFER_S,
+                            )
+                            tm.pad_in, tm.retries_in, tm.in_ok = (
+                                core.transfer_attempts(
+                                    st, chunk, "in", t_nom_in, tm.in_start,
+                                    sleep=time.sleep,
+                                )
+                            )
+                            if tm.in_ok:
+                                t_nom_out = max(
+                                    st.device.transfer_time(tm.bytes_out),
+                                    _EPS_XFER_S,
+                                )
+                                tm.pad_out, tm.retries_out, tm.out_ok = (
+                                    core.transfer_attempts(
+                                        st, chunk, "out", t_nom_out,
+                                        clock.now(), sleep=time.sleep,
+                                    )
+                                )
+                        tm.in_end = clock.now()
+                        dropped = (
+                            drop_t is not None
+                            and tm.ok
+                            and clock.now() >= drop_t
+                        )
+                        if dropped or not tm.ok:
+                            now = clock.now()
+                            tm.comp_start = tm.comp_end = now
+                            tm.out_start = tm.out_end = now
+                            if dropped:
+                                tm.dropped = True
+                                core.drop_chunk(st, tm, drop_t)
+                                cond.notify_all()
+                                return
+                            st.finish = max(st.finish, tm.out_end)
+                            core.account_chunk(st, tm)
+                            quarantined = core.fail_chunk(st, tm)
+                            cond.notify_all()
+                            if quarantined:
+                                return
+                            continue
+                        tm.advance(ChunkPhase.COMPUTE)
+                    # Compute outside the lock: NumPy releases the GIL, so
+                    # proxy threads genuinely overlap here.
+                    comp_start = clock.now()
+                    partial = (
+                        kernel.execute_chunk(
+                            chunk, shared=st.device.shares_host_memory
+                        )
+                        if core.execute_numerically else None
+                    )
+                    if plan_active:
+                        factor = plan.slowdown_factor(devid, comp_start)
+                        if factor > 1.0:
+                            # A straggler: stretch the chunk by the extra
+                            # time the slowdown would have cost.
+                            time.sleep((factor - 1.0) * (clock.now() - comp_start))
+                    comp_end = clock.now()
+                    elapsed = comp_end - comp_start
                     with lock:
-                        if kernel.is_reduction:
-                            partials[devid] = kernel.combine(
-                                partials[devid], partial
-                            )
-                        scheduler.observe(devid, chunk, max(elapsed, 1e-9))
-                        trace.compute_s += elapsed
-                        trace.chunks += 1
-                        trace.iters += len(chunk)
-                        trace.finish_s = time.perf_counter() - t0
-                        if traced:
-                            dn = devices[devid].name
-                            obs.span(
-                                _sp.SPAN_COMPUTE, _sp.CAT_STAGE, devid, dn,
-                                start - t0, end - t0,
-                                iters=len(chunk),
-                                chunk=(chunk.start, chunk.stop),
-                            )
-                            obs.instant(
-                                _sp.MARK_CHUNK, _sp.CAT_MARK, devid, dn,
-                                end - t0, iters=len(chunk),
-                                chunk=(chunk.start, chunk.stop), retries=0,
-                            )
-                            met.inc("chunks_issued", 1.0, device=dn)
-                            met.inc("iterations", len(chunk), device=dn)
+                        tm.advance(ChunkPhase.XFER_OUT)
+                        tm.comp_start, tm.comp_end = comp_start, comp_end
+                        tm.t_comp = elapsed
+                        tm.out_start = tm.out_end = comp_end
+                        st.finish = max(st.finish, tm.out_end)
+                        core.account_chunk(st, tm)
+                        core.commit_chunk(
+                            st, tm, max(elapsed, 1e-9), partial=partial
+                        )
             except BaseException as exc:  # surface worker failures to caller
                 with lock:
                     errors.append(exc)
-                    barrier_cond.notify_all()
+                    cond.notify_all()
 
         threads = [
-            threading.Thread(target=proxy, args=(d.devid,), name=f"proxy-{d.name}")
-            for d in devices
+            threading.Thread(
+                target=proxy, args=(s.device.devid,),
+                name=f"proxy-{s.device.name}",
+            )
+            for s in states
         ]
         for th in threads:
             th.start()
@@ -163,38 +291,7 @@ class ThreadedEngine:
             th.join()
         if errors:
             raise OffloadError(f"proxy thread failed: {errors[0]!r}") from errors[0]
-        if state["covered"] != kernel.n_iters:
-            raise OffloadError(
-                f"{scheduler.notation} covered {state['covered']} of "
-                f"{kernel.n_iters} iterations"
-            )
-        total = time.perf_counter() - t0
-        if traced:
-            for tr in traces:
-                if tr.participated:
-                    obs.instant(
-                        _sp.MARK_FINISH, _sp.CAT_MARK, tr.devid, tr.name,
-                        tr.finish_s,
-                    )
-            obs.span(
-                _sp.SPAN_OFFLOAD, _sp.CAT_OFFLOAD, -1, "", 0.0, total,
-                kernel=kernel.name, algorithm=scheduler.describe(),
-                machine=self.machine.name,
-            )
-            obs.meta.update(
-                kernel=kernel.name,
-                algorithm=scheduler.describe(),
-                machine=self.machine.name,
-                executor="threaded",
-            )
-        reduction = partials[0]
-        for p in partials[1:]:
-            reduction = kernel.combine(reduction, p)
-        return OffloadResult(
-            kernel_name=kernel.name,
-            algorithm=scheduler.describe(),
-            total_time_s=total,
-            traces=traces,
-            reduction=reduction if kernel.is_reduction else None,
-            meta={"executor": "threaded", "machine": self.machine.name},
-        )
+        return core.finalize(clock.now())
+
+
+register_backend("threaded", ThreadedEngine, aliases=("wall", "threads"))

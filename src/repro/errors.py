@@ -18,6 +18,7 @@ __all__ = [
     "AlignmentError",
     "SchedulingError",
     "OffloadError",
+    "EngineBusyError",
     "FaultPlanError",
     "FaultError",
 ]
@@ -69,6 +70,14 @@ class SchedulingError(HompError):
 
 class OffloadError(HompError):
     """An offload region failed during execution."""
+
+
+class EngineBusyError(OffloadError):
+    """``run()`` was entered on an engine whose previous run is still in
+    flight.  Engine objects are reusable sequentially, never concurrently:
+    per-run state lives in the run's own context, but the last-run
+    introspection slot (``chunk_log``/``timeline``/``faults``) is one per
+    engine."""
 
 
 class FaultPlanError(HompError, ValueError):

@@ -20,6 +20,7 @@ chunk it acquires; outputs land back in the kernel's host arrays, and
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -124,9 +125,12 @@ class LoopKernel(ABC):
         self._policy_overrides: dict[str, Policy] = {}
         self._resident: frozenset[str] = frozenset()
         self._cost_cache: _CostConstants | None = None
-        # Per-array discrete-memory staging storage, reused across chunks
-        # (flat capacity buffers; execute_chunk carves shaped views out).
-        self._staging: dict[str, np.ndarray] = {}
+        # Per-(thread, array) discrete-memory staging storage, reused
+        # across chunks (flat capacity buffers; execute_chunk carves
+        # shaped views out).  Keyed by thread so the wall-clock backend's
+        # concurrent execute_chunk calls never share staging storage.
+        self._staging: dict[tuple[int, str], np.ndarray] = {}
+        self._stats_lock = threading.Lock()
         written: set[str] = set()
         for m in self.maps():
             if m.name not in self.arrays:
@@ -381,8 +385,9 @@ class LoopKernel(ABC):
         for m in maps:
             if m.direction.copies_out:
                 buffers[m.name].copy_out()
-        self.stats.chunks += 1
-        self.stats.iterations += len(rows)
+        with self._stats_lock:
+            self.stats.chunks += 1
+            self.stats.iterations += len(rows)
         return partial
 
     def _staging_view(self, name: str, region: tuple[IterRange, ...]) -> np.ndarray:
@@ -400,10 +405,11 @@ class LoopKernel(ABC):
         size = 1
         for extent in shape:
             size *= extent
-        flat = self._staging.get(name)
+        key = (threading.get_ident(), name)
+        flat = self._staging.get(key)
         if flat is None or flat.size < size or flat.dtype != host.dtype:
             flat = np.empty(size, dtype=host.dtype)
-            self._staging[name] = flat
+            self._staging[key] = flat
         return flat[:size].reshape(shape)
 
     @abstractmethod

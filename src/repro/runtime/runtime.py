@@ -18,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dist.policy import Align, Auto, Policy
+from repro.engine.core import make_backend
 from repro.engine.simulator import OffloadEngine
+from repro.engine.threaded import ThreadedEngine  # noqa: F401 — registers "threaded"
 from repro.engine.trace import OffloadResult
 from repro.errors import DeviceError, SchedulingError
 from repro.faults.plan import FaultPlan
@@ -114,6 +116,7 @@ class HompRuntime:
         fault_plan: FaultPlan | None = None,
         resilience: ResiliencePolicy | None = None,
         tracer=None,
+        executor: "str | type | None" = None,
         **sched_kwargs,
     ) -> OffloadResult:
         """Offload one parallel loop across the selected devices.
@@ -128,6 +131,12 @@ class HompRuntime:
         policy for those faults (defaults apply when None).  ``tracer`` —
         a :class:`repro.obs.Tracer` receiving the offload's span stream
         (None = no tracing; ``REPRO_OBS=off`` force-disables any tracer).
+        ``executor`` — which execution backend runs the offload: a registry
+        name (``"virtual"`` — deterministic discrete-event simulation, the
+        default; ``"threaded"`` — one real host thread per device on a
+        wall clock) or a backend class.  Options a backend cannot honour
+        (e.g. ``serialize_offload`` on the threaded backend) raise
+        :class:`~repro.errors.OffloadError` when set.
         """
         ids = self.select_devices(devices)
         submachine = self.machine.subset(ids)
@@ -148,8 +157,9 @@ class HompRuntime:
             engine_kwargs["resilience"] = resilience
         if tracer is not None:
             engine_kwargs["tracer"] = tracer
-        engine = OffloadEngine(
-            machine=submachine,
+        engine = make_backend(
+            executor if executor is not None else OffloadEngine,
+            submachine,
             seed=self.seed,
             execute_numerically=self.execute_numerically,
             record_events=record_events,

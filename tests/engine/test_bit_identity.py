@@ -1,0 +1,89 @@
+"""The virtual-time backend is pinned bit-for-bit to the pre-core engine.
+
+The committed fixture holds the BLAKE2b checksum of one fig5 cell's
+pickled :class:`~repro.engine.trace.OffloadResult`, generated *before*
+the execution core was extracted.  Any drift in stage arithmetic,
+accumulation order, trace buckets or meta layout changes the pickle and
+fails here.  The same script runs in CI (``scripts/bit_identity_smoke.py``).
+"""
+
+import hashlib
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.engine.simulator import OffloadEngine
+from repro.faults.plan import DeviceDropout, FaultPlan, Slowdown, TransferError
+from repro.faults.policy import ResiliencePolicy, RetryPolicy
+from repro.kernels.registry import paper_workload
+from repro.machine.presets import full_node, gpu4_node
+from repro.obs.tracer import Tracer
+from repro.runtime.runtime import HompRuntime
+from repro.sched.registry import make_scheduler
+
+FIXTURE = Path(__file__).parent / "fixtures" / "fig5_cell.blake2b"
+
+
+def checksum(obj) -> str:
+    return hashlib.blake2b(
+        pickle.dumps(obj, protocol=4), digest_size=16
+    ).hexdigest()
+
+
+def fig5_cell() -> str:
+    rt = HompRuntime(gpu4_node(), seed=0)
+    kernel = paper_workload("axpy", scale=0.05, seed=0)
+    result = rt.parallel_for(
+        kernel, schedule="SCHED_DYNAMIC", cutoff_ratio=0.0,
+    )
+    return checksum(result)
+
+
+def test_fig5_cell_matches_prerefactor_fixture(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "off")
+    assert FIXTURE.exists(), "run scripts/bit_identity_smoke.py --update"
+    assert fig5_cell() == FIXTURE.read_text().strip()
+
+
+def test_traced_run_is_pickle_identical_to_untraced(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "off")
+    plain = fig5_cell()
+    rt = HompRuntime(gpu4_node(), seed=0)
+    kernel = paper_workload("axpy", scale=0.05, seed=0)
+    traced = rt.parallel_for(
+        kernel, schedule="SCHED_DYNAMIC", cutoff_ratio=0.0,
+        tracer=Tracer(clock="virtual"),
+    )
+    assert checksum(traced) == plain
+
+
+def test_faulted_run_is_deterministic():
+    # Two identical engines under the same non-empty plan produce pickle-
+    # identical results, faults included (the determinism the sweep cache
+    # and the bit-identity contract both rely on).
+    plan = FaultPlan.of(
+        Slowdown(0, 3.0),
+        TransferError(1, 0.2, seed=9),
+        DeviceDropout(2, 0.004),
+    )
+    res = ResiliencePolicy(retry=RetryPolicy(max_retries=2), quarantine_after=2)
+
+    def one() -> str:
+        eng = OffloadEngine(
+            machine=full_node(), seed=0, fault_plan=plan, resilience=res,
+        )
+        kernel = paper_workload("sum", scale=0.02, seed=0)
+        return checksum(eng.run(kernel, make_scheduler("SCHED_DYNAMIC")))
+
+    assert one() == one()
+
+
+@pytest.mark.parametrize("machine_fn", [gpu4_node, full_node])
+def test_virtual_runs_reproduce_across_engine_instances(machine_fn):
+    def one() -> str:
+        eng = OffloadEngine(machine=machine_fn(), seed=0)
+        kernel = paper_workload("axpy", scale=0.02, seed=0)
+        return checksum(eng.run(kernel, make_scheduler("SCHED_GUIDED")))
+
+    assert one() == one()

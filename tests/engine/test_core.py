@@ -1,0 +1,294 @@
+"""Tests for the shared execution core: lifecycle state machine, backend
+registry, engine reuse and the re-entrancy guard."""
+
+import threading
+
+import pytest
+
+from repro.engine.core import (
+    ChunkPhase,
+    LIFECYCLE,
+    StageTiming,
+    backend_names,
+    make_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.simulator import OffloadEngine
+from repro.engine.threaded import ThreadedEngine
+from repro.errors import EngineBusyError, OffloadError
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import gpu4_node
+from repro.sched.registry import make_scheduler
+from repro.util.ranges import IterRange
+
+
+def _tm() -> StageTiming:
+    return StageTiming(chunk=IterRange(0, 10))
+
+
+# ------------------------------------------------------- state machine
+
+
+class TestLifecycle:
+    def test_every_phase_has_a_transition_entry(self):
+        assert set(LIFECYCLE) == set(ChunkPhase)
+
+    def test_terminal_phases_have_no_exits(self):
+        for terminal in (ChunkPhase.DONE, ChunkPhase.LOST, ChunkPhase.QUARANTINE):
+            assert LIFECYCLE[terminal] == frozenset()
+
+    def test_happy_path(self):
+        tm = _tm()
+        for phase in (
+            ChunkPhase.SCHED, ChunkPhase.XFER_IN, ChunkPhase.COMPUTE,
+            ChunkPhase.XFER_OUT, ChunkPhase.OBSERVE, ChunkPhase.DONE,
+        ):
+            tm.advance(phase)
+        assert tm.phase is ChunkPhase.DONE
+
+    def test_retry_loop_and_requeue(self):
+        tm = _tm()
+        tm.advance(ChunkPhase.SCHED)
+        tm.advance(ChunkPhase.XFER_IN)
+        tm.advance(ChunkPhase.RETRY)
+        tm.advance(ChunkPhase.XFER_IN)  # retry resumes the transfer
+        tm.advance(ChunkPhase.REQUEUE)  # retries exhausted
+        tm.advance(ChunkPhase.QUARANTINE)
+        assert tm.phase is ChunkPhase.QUARANTINE
+
+    def test_requeue_can_resume(self):
+        tm = _tm()
+        tm.advance(ChunkPhase.SCHED)
+        tm.advance(ChunkPhase.XFER_IN)
+        tm.advance(ChunkPhase.REQUEUE)
+        tm.advance(ChunkPhase.REQUEST)  # device survives, resumes serially
+        assert tm.phase is ChunkPhase.REQUEST
+
+    def test_illegal_transition_raises(self):
+        tm = _tm()
+        with pytest.raises(OffloadError, match="illegal chunk lifecycle"):
+            tm.advance(ChunkPhase.DONE)
+
+    def test_skipping_compute_raises(self):
+        tm = _tm()
+        tm.advance(ChunkPhase.SCHED)
+        tm.advance(ChunkPhase.XFER_IN)
+        with pytest.raises(OffloadError, match="xfer_in -> xfer_out"):
+            tm.advance(ChunkPhase.XFER_OUT)
+
+
+# ------------------------------------------------------------ registry
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert "virtual" in backend_names()
+        assert "threaded" in backend_names()
+
+    def test_aliases_resolve(self):
+        assert resolve_backend("sim") is OffloadEngine
+        assert resolve_backend("simulated") is OffloadEngine
+        assert resolve_backend("wall") is ThreadedEngine
+        assert resolve_backend("threads") is ThreadedEngine
+
+    def test_resolution_is_case_insensitive(self):
+        assert resolve_backend("VIRTUAL") is OffloadEngine
+        assert resolve_backend(" Threaded ") is ThreadedEngine
+
+    def test_class_and_instance_pass_through(self):
+        assert resolve_backend(OffloadEngine) is OffloadEngine
+        eng = ThreadedEngine(machine=gpu4_node())
+        assert resolve_backend(eng) is ThreadedEngine
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(OffloadError, match="virtual"):
+            resolve_backend("gpu-direct")
+
+    def test_reregistration_latest_wins(self):
+        class Fake(OffloadEngine):
+            pass
+
+        try:
+            register_backend("virtual", Fake)
+            assert resolve_backend("virtual") is Fake
+        finally:
+            register_backend(
+                "virtual", OffloadEngine,
+                aliases=("simulated", "simulator", "sim"),
+            )
+        assert resolve_backend("virtual") is OffloadEngine
+
+
+class TestMakeBackend:
+    def test_builds_virtual_with_its_options(self):
+        eng = make_backend(
+            "virtual", gpu4_node(), seed=3, serialize_offload=True,
+        )
+        assert isinstance(eng, OffloadEngine)
+        assert eng.seed == 3
+        assert eng.serialize_offload is True
+
+    def test_falsy_unsupported_options_are_dropped(self):
+        eng = make_backend("threaded", gpu4_node(), serialize_offload=False)
+        assert isinstance(eng, ThreadedEngine)
+
+    def test_truthy_unsupported_option_raises(self):
+        with pytest.raises(OffloadError, match="serialize_offload"):
+            make_backend("threaded", gpu4_node(), serialize_offload=True)
+
+    def test_truthy_unsupported_names_the_backend(self):
+        with pytest.raises(OffloadError, match="threaded"):
+            make_backend("wall", gpu4_node(), double_buffer=True)
+
+
+# ------------------------------------------------- reuse & re-entrancy
+
+
+@pytest.mark.parametrize("backend", ["virtual", "threaded"])
+def test_engine_instance_is_reusable_sequentially(backend):
+    eng = make_backend(backend, gpu4_node(), seed=0, collect_chunks=True)
+    k1 = make_kernel("sum", 40_000, seed=1)
+    r1 = eng.run(k1, make_scheduler("SCHED_DYNAMIC"))
+    log1 = eng.chunk_log
+    k2 = make_kernel("sum", 40_000, seed=1)
+    r2 = eng.run(k2, make_scheduler("BLOCK"))
+    # Per-run state lives in the run context: the second run does not
+    # accumulate into the first's accounting.
+    assert sum(t.iters for t in r1.traces) == 40_000
+    assert sum(t.iters for t in r2.traces) == 40_000
+    assert log1  # collect_chunks captured the first run
+    # The introspection slot now shows the second run, fully covered.
+    assert sum(len(c) for _, c in eng.chunk_log) == 40_000
+
+
+def test_reentrant_run_raises_engine_busy():
+    eng = OffloadEngine(machine=gpu4_node(), seed=0)
+
+    class Reenter:
+        notation = "reenter"
+        supports_cutoff = False
+
+        def start(self, ctx):
+            self._served = False
+
+        def next(self, devid):
+            # Re-enter run() on the same engine from inside the first run.
+            with pytest.raises(EngineBusyError):
+                eng.run(
+                    make_kernel("sum", 1_000, seed=0),
+                    make_scheduler("BLOCK"),
+                )
+            if self._served:
+                return None
+            self._served = True
+            return IterRange(0, 1_000) if devid == 0 else None
+
+        def observe(self, devid, chunk, elapsed):
+            pass
+
+        def at_barrier(self):
+            pass
+
+        def requeue(self, chunk):
+            return False
+
+        def device_lost(self, devid):
+            return []
+
+        def describe(self):
+            return "reenter"
+
+    eng.run(make_kernel("sum", 1_000, seed=0), Reenter())
+
+
+def test_concurrent_runs_on_one_engine_rejected():
+    eng = OffloadEngine(machine=gpu4_node(), seed=0)
+    release = threading.Event()
+    started = threading.Event()
+    errors = []
+
+    class Hold:
+        notation = "hold"
+        supports_cutoff = False
+
+        def start(self, ctx):
+            self._served = False
+
+        def next(self, devid):
+            started.set()
+            release.wait(timeout=10.0)
+            if self._served:
+                return None
+            self._served = True
+            return IterRange(0, 1_000) if devid == 0 else None
+
+        def observe(self, devid, chunk, elapsed):
+            pass
+
+        def at_barrier(self):
+            pass
+
+        def requeue(self, chunk):
+            return False
+
+        def device_lost(self, devid):
+            return []
+
+        def describe(self):
+            return "hold"
+
+    def first():
+        try:
+            eng.run(make_kernel("sum", 1_000, seed=0), Hold())
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            errors.append(exc)
+
+    t = threading.Thread(target=first)
+    t.start()
+    assert started.wait(timeout=10.0)
+    try:
+        with pytest.raises(EngineBusyError):
+            eng.run(make_kernel("sum", 1_000, seed=0), make_scheduler("BLOCK"))
+    finally:
+        release.set()
+        t.join(timeout=10.0)
+    assert not errors
+
+
+def test_failed_run_leaves_engine_usable():
+    eng = OffloadEngine(machine=gpu4_node(), seed=0)
+
+    class Short:
+        notation = "short"
+        supports_cutoff = False
+
+        def start(self, ctx):
+            self._served = False
+
+        def next(self, devid):
+            if self._served:
+                return None
+            self._served = True
+            return IterRange(0, 10) if devid == 0 else None  # undercovers
+
+        def observe(self, devid, chunk, elapsed):
+            pass
+
+        def at_barrier(self):
+            pass
+
+        def requeue(self, chunk):
+            return False
+
+        def device_lost(self, devid):
+            return []
+
+        def describe(self):
+            return "short"
+
+    with pytest.raises(OffloadError, match="covered"):
+        eng.run(make_kernel("sum", 1_000, seed=0), Short())
+    # The run gate was released in the finally; the engine still works.
+    r = eng.run(make_kernel("sum", 1_000, seed=0), make_scheduler("BLOCK"))
+    assert sum(t.iters for t in r.traces) == 1_000

@@ -36,9 +36,28 @@ FIXTURE = (
 )
 
 
-def cell_checksum() -> str:
-    """Checksum of the pinned fig5 cell's pickled OffloadResult."""
+def cell_checksum(warm_region: bool = False) -> str:
+    """Checksum of the pinned fig5 cell's pickled OffloadResult.
+
+    With ``warm_region=True`` the same runtime first opens, uses, and
+    drains a target-data region — the cell that follows must still match
+    the fixture (residency state must not leak into region-free runs).
+    """
     rt = HompRuntime(gpu4_node(), seed=0)
+    if warm_region:
+        from repro.memory.space import MapDirection
+        from repro.runtime.data_env import TargetDataRegion
+
+        warm = paper_workload("axpy", scale=0.05, seed=0)
+        maps = {
+            name: (arr, MapDirection.TOFROM)
+            for name, arr in warm.arrays.items()
+        }
+        with TargetDataRegion(
+            runtime=rt, maps=maps, partitioned=frozenset(maps)
+        ) as region:
+            region.parallel_for(warm, schedule="SCHED_DYNAMIC")
+        assert rt.ledger.empty, "region did not drain the residency ledger"
     kernel = paper_workload("axpy", scale=0.05, seed=0)
     result = rt.parallel_for(kernel, schedule="SCHED_DYNAMIC", cutoff_ratio=0.0)
     blob = pickle.dumps(result, protocol=4)
@@ -64,6 +83,16 @@ def main(argv: list[str]) -> int:
             "The virtual-time engine no longer reproduces the committed "
             "fig5 cell. If the change is intentional, regenerate with "
             "--update and explain why in the PR.",
+            file=sys.stderr,
+        )
+        return 1
+    after_region = cell_checksum(warm_region=True)
+    if after_region != want:
+        print(
+            "bit-identity check FAILED after a drained target-data region:\n"
+            f"  expected {want}\n"
+            f"  got      {after_region}\n"
+            "Residency-ledger state leaked into a region-free offload.",
             file=sys.stderr,
         )
         return 1

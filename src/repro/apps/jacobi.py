@@ -214,8 +214,13 @@ class JacobiSolver:
                 copy_k.set_partition("u", Block())
                 copy_k.set_partition("uold", Block())
                 r1 = region.parallel_for(copy_k, schedule=Align("u"))
+                # The copy loop rewrote uold: the ledger already dropped
+                # every other device's claim on the written rows, so the
+                # exchange below pays for boundary rows once, then elides
+                # them until the next write.
                 exchange = plan_halo_exchange(
-                    submachine, row_dist, width=1, row_bytes=self.m * 8
+                    submachine, row_dist, width=1, row_bytes=self.m * 8,
+                    residency=region.residency, array="uold",
                 )
                 halo_total += exchange.time_s
                 sweep_k = JacobiSweepKernel(

@@ -34,6 +34,7 @@ from typing import Any, Mapping
 
 from repro import __version__
 from repro.engine.core import CORE_VERSION
+from repro.memory.residency import DATA_VERSION
 from repro.engine.trace import OffloadResult
 from repro.faults.plan import FaultPlan, faults_enabled
 from repro.faults.policy import ResiliencePolicy
@@ -103,6 +104,9 @@ def result_key(
         # Cached results are virtual-time artifacts; any change to the
         # execution core that could perturb them must bump CORE_VERSION.
         "core": CORE_VERSION,
+        # Residency-ledger semantics (elision rules, placement derivation)
+        # shape in-region timings the same way: DATA_VERSION keys them.
+        "data": DATA_VERSION,
         "machine": machine.to_dict(),
         "workload": dict(workload_fp),
         "policy": str(policy),

@@ -160,6 +160,9 @@ class StageTiming:
     out_end: float = 0.0
     bytes_in: float = 0.0
     bytes_out: float = 0.0
+    #: Bytes a residency view proved already on-device (zero without one).
+    elided_in: float = 0.0
+    elided_out: float = 0.0
     dropped: bool = False
     phase: ChunkPhase = ChunkPhase.REQUEST
 
@@ -293,6 +296,7 @@ class RunContext:
         fault_plan: FaultPlan | None = None,
         resilience: ResiliencePolicy | None = None,
         tracer: Tracer | NullTracer | None = NULL_TRACER,
+        residency=None,
         base_meta: dict | None = None,
         obs_meta_extra: dict | None = None,
     ):
@@ -311,9 +315,16 @@ class RunContext:
         #: one attribute check; hot paths branch on this local-able flag
         self.traced = self.obs.enabled
         self.met = self.obs.metrics if self.traced else None
+        #: RegionResidency view of the enclosing target-data region, or
+        #: None.  With None the transfer arithmetic below is bit-identical
+        #: to the pre-ledger engine (the bit-identity contract); with a
+        #: view, chunks charge only the delta against what is resident.
+        self.residency = residency
+        self.bytes_moved = 0.0
+        self.bytes_elided = 0.0
         self.sched_ctx = SchedContext(
             kernel=kernel, devices=self.devices, cutoff_ratio=cutoff_ratio,
-            metrics=self.met,
+            metrics=self.met, residency=residency,
         )
         scheduler.start(self.sched_ctx)
 
@@ -358,6 +369,31 @@ class RunContext:
         tm = StageTiming(chunk=chunk, acquire_t=t)
         tm.advance(ChunkPhase.SCHED)
         return tm
+
+    def chunk_bytes(self, st: DeviceState, tm: StageTiming, cost) -> None:
+        """Fill ``tm.bytes_in``/``bytes_out`` (and elisions) for one chunk.
+
+        Without a residency view this replays the pre-ledger arithmetic
+        exactly (flat per-chunk transfer bytes plus the FULL-map replica
+        on a device's first chunk) — the bit-identity contract.  With a
+        view, the bytes are the delta between what the chunk touches and
+        what the ledger says is already on the device; elided bytes are
+        recorded on the timing for span/metric emission.  Does not clear
+        ``st.first_chunk`` — backends do, after charging setup overhead.
+        """
+        res = self.residency
+        if res is None:
+            tm.bytes_in = cost.xfer_in_bytes + (
+                cost.replicated_in_bytes if st.first_chunk else 0.0
+            )
+            tm.bytes_out = cost.xfer_out_bytes
+            return
+        tm.bytes_in, tm.bytes_out, tm.elided_in, tm.elided_out = (
+            res.charge_chunk(
+                st.device.devid, self.kernel, tm.chunk,
+                first_chunk=st.first_chunk,
+            )
+        )
 
     # -- fault machinery (identical draws and emission order to pre-core) ----
 
@@ -411,6 +447,15 @@ class RunContext:
         st.lost = True
         st.done = True
         st.trace.lost_at = t_lost
+        if self.residency is not None:
+            # Dropout loses the device's buffer contents: reassigned
+            # chunks must re-pay their transfers on the survivors.
+            lost_rows = self.residency.device_lost(st.device.devid)
+            if self.traced and lost_rows:
+                self.met.inc(
+                    "residency_rows_invalidated", lost_rows,
+                    device=st.device.name,
+                )
         self.emit_fault(kind, st, t_lost, chunk=chunk, detail=detail)
         for reserved in self.scheduler.device_lost(st.device.devid):
             self.add_orphan(reserved, t_lost)
@@ -565,6 +610,12 @@ class RunContext:
         tr.sched_s += tm.t_sched
         tr.retry_s += tm.pad_in + tm.pad_out
         tr.retries += tm.retried
+        moved = (tm.bytes_in if tm.in_ok else 0.0) + (
+            tm.bytes_out if tm.ok else 0.0
+        )
+        elided = tm.elided_in + tm.elided_out
+        self.bytes_moved += moved
+        self.bytes_elided += elided
 
         if self.traced:
             obs = self.obs
@@ -604,11 +655,18 @@ class RunContext:
                 met.inc("transfer_retries", tm.retried, device=dn)
             if tm.in_ok:
                 if tm.t_in > 0.0:
-                    obs.span(
-                        _sp.SPAN_XFER_IN, _sp.CAT_STAGE, devid, dn,
-                        tm.in_end - tm.t_in, tm.in_end,
-                        bytes=tm.bytes_in, chunk=ck,
-                    )
+                    if tm.elided_in > 0.0:
+                        obs.span(
+                            _sp.SPAN_XFER_IN, _sp.CAT_STAGE, devid, dn,
+                            tm.in_end - tm.t_in, tm.in_end,
+                            bytes=tm.bytes_in, elided=tm.elided_in, chunk=ck,
+                        )
+                    else:
+                        obs.span(
+                            _sp.SPAN_XFER_IN, _sp.CAT_STAGE, devid, dn,
+                            tm.in_end - tm.t_in, tm.in_end,
+                            bytes=tm.bytes_in, chunk=ck,
+                        )
                 if tm.t_comp > 0.0:
                     obs.span(
                         _sp.SPAN_COMPUTE, _sp.CAT_STAGE, devid, dn,
@@ -616,11 +674,21 @@ class RunContext:
                         iters=len(chunk), chunk=ck,
                     )
             if tm.ok and tm.t_out > 0.0:
-                obs.span(
-                    _sp.SPAN_XFER_OUT, _sp.CAT_STAGE, devid, dn,
-                    tm.out_end - tm.t_out, tm.out_end,
-                    bytes=tm.bytes_out, chunk=ck,
-                )
+                if tm.elided_out > 0.0:
+                    obs.span(
+                        _sp.SPAN_XFER_OUT, _sp.CAT_STAGE, devid, dn,
+                        tm.out_end - tm.t_out, tm.out_end,
+                        bytes=tm.bytes_out, elided=tm.elided_out, chunk=ck,
+                    )
+                else:
+                    obs.span(
+                        _sp.SPAN_XFER_OUT, _sp.CAT_STAGE, devid, dn,
+                        tm.out_end - tm.t_out, tm.out_end,
+                        bytes=tm.bytes_out, chunk=ck,
+                    )
+            met.inc("bytes_moved", moved, device=dn)
+            if elided > 0.0:
+                met.inc("bytes_elided", elided, device=dn)
 
         if self.record_events:
             self.events.append(
@@ -654,6 +722,11 @@ class RunContext:
         if tm.in_ok:  # copy-in and compute did happen
             tr.xfer_in_s += tm.t_in
             tr.compute_s += tm.t_comp
+        if self.residency is not None:
+            # The charge marked rows valid, but the chunk's pipeline never
+            # completed (its outputs never returned): conservatively drop
+            # those marks so later reads re-pay instead of under-charging.
+            self.residency.forget_chunk(st.device.devid, self.kernel, tm.chunk)
         self.add_orphan(tm.chunk, tm.out_end)
         if self.health.record_failure(st.device.devid):
             tm.advance(ChunkPhase.QUARANTINE)
@@ -812,6 +885,13 @@ class RunContext:
                 obs.meta.update(**self.obs_meta_extra)
 
         meta: dict = dict(self.base_meta)
+        if self.residency is not None:
+            # Only region-scoped runs carry this key: no-region results
+            # stay pickle-identical to the pre-ledger engine.
+            meta["residency"] = {
+                "bytes_moved": self.bytes_moved,
+                "bytes_elided": self.bytes_elided,
+            }
         if self.plan_active:
             meta["faults"] = {
                 "plan": self.plan.describe(),

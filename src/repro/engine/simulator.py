@@ -55,6 +55,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.kernels.base import LoopKernel
 from repro.machine.spec import MachineSpec, MemoryKind
+from repro.memory.residency import RegionResidency
 from repro.memory.unified import UnifiedMemoryModel
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.sched.base import BARRIER, LoopScheduler
@@ -95,6 +96,10 @@ class OffloadEngine(EngineBase):
     #: per run, so untraced offloads pay no per-chunk cost.  ``REPRO_OBS``
     #: can kill even an attached tracer (see ``resolve_tracer``).
     tracer: Tracer | NullTracer = NULL_TRACER
+    #: Residency view of an enclosing target-data region (None outside one).
+    #: When set, per-chunk transfer bytes are the *delta* between what the
+    #: chunk touches and what the placement already made resident.
+    residency: "RegionResidency | None" = None
 
     def run(
         self,
@@ -115,6 +120,7 @@ class OffloadEngine(EngineBase):
             fault_plan=self.fault_plan,
             resilience=self.resilience,
             tracer=self.tracer,
+            residency=self.residency,
             base_meta={"seed": self.seed, "machine": self.machine.name},
         )
         self._begin_run(core)
@@ -188,10 +194,7 @@ class OffloadEngine(EngineBase):
 
             spec = st.device.spec
             cost = kernel.chunk_cost(chunk)
-            tm.bytes_in = cost.xfer_in_bytes + (
-                cost.replicated_in_bytes if st.first_chunk else 0.0
-            )
-            tm.bytes_out = cost.xfer_out_bytes
+            core.chunk_bytes(st, tm, cost)
             tm.t_setup = spec.setup_overhead_s if st.first_chunk else 0.0
             st.first_chunk = False
 

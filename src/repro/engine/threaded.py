@@ -55,6 +55,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.kernels.base import LoopKernel
 from repro.machine.spec import MachineSpec
+from repro.memory.residency import RegionResidency
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.sched.base import BARRIER, LoopScheduler
 
@@ -84,6 +85,10 @@ class ThreadedEngine(EngineBase):
     #: Observability sink; spans carry *wall* time (``perf_counter``
     #: offsets from offload start), unlike the simulator's virtual time.
     tracer: Tracer | NullTracer = NULL_TRACER
+    #: Residency view of an enclosing target-data region (None outside one).
+    #: Same elision semantics as the virtual backend: per-chunk bytes are
+    #: the delta against what the placement already made resident.
+    residency: "RegionResidency | None" = None
 
     def run(
         self,
@@ -104,6 +109,7 @@ class ThreadedEngine(EngineBase):
             fault_plan=self.fault_plan,
             resilience=self.resilience,
             tracer=self.tracer,
+            residency=self.residency,
             base_meta={
                 "executor": "threaded", "machine": self.machine.name,
                 "seed": self.seed,
@@ -191,10 +197,7 @@ class ThreadedEngine(EngineBase):
                         chunk = tm.chunk
                         tm.t_sched = dec_t1 - dec_t0
                         cost = kernel.chunk_cost(chunk)
-                        tm.bytes_in = cost.xfer_in_bytes + (
-                            cost.replicated_in_bytes if st.first_chunk else 0.0
-                        )
-                        tm.bytes_out = cost.xfer_out_bytes
+                        core.chunk_bytes(st, tm, cost)
                         st.first_chunk = False
                         # Pre-flight both (simulated) transfer legs: draws,
                         # fault events and backoff sleeps happen now, so a

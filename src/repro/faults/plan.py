@@ -8,7 +8,11 @@ machine, in virtual time:
 * :class:`TransferError` — each copy-in/copy-out attempt on a device's
   link fails with probability ``p_fail`` (a flaky link),
 * :class:`DeviceDropout` — a device dies permanently at virtual time
-  ``t`` (mid-offload loss).
+  ``t`` (mid-offload loss).  Inside a target-data region a dropout also
+  invalidates everything the device held in the residency ledger
+  (:meth:`repro.memory.residency.ResidencyLedger.invalidate_device`):
+  rows whose only valid copy died are re-charged when surviving devices
+  adopt the orphaned chunks.
 
 Stochastic faults draw from a counter-based hash (BLAKE2b over the fault
 seed, device id, attempt counter and transfer direction), never from

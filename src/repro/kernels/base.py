@@ -244,6 +244,15 @@ class LoopKernel(ABC):
             n *= extent
         return n
 
+    def row_nbytes(self, name: str) -> int:
+        """Bytes per dim-0 index of a mapped array (the residency ledger's
+        charging unit)."""
+        arr = self.arrays[name]
+        n = arr.itemsize
+        for extent in arr.shape[1:]:
+            n *= extent
+        return n
+
     def replicated_in_bytes(self) -> float:
         """Bytes of FULL-mapped input copied once to each discrete device."""
         return self._cost_constants().replicated_in_bytes

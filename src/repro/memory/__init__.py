@@ -1,9 +1,16 @@
 """Memory model: device buffers, map semantics, copy-vs-share decisions,
-and the unified-memory cost model behind the paper's section V.C claim."""
+the unified-memory cost model behind the paper's section V.C claim, and
+the residency ledger / data-placement plans behind target-data regions."""
 
 from repro.memory.space import MapDirection
 from repro.memory.buffer import DeviceBuffer
 from repro.memory.mapper import DataMapper, MapDecision
+from repro.memory.residency import (
+    DATA_VERSION,
+    DataPlacementPlan,
+    RegionResidency,
+    ResidencyLedger,
+)
 from repro.memory.unified import UnifiedMemoryModel
 
 __all__ = [
@@ -12,4 +19,8 @@ __all__ = [
     "DataMapper",
     "MapDecision",
     "UnifiedMemoryModel",
+    "DATA_VERSION",
+    "ResidencyLedger",
+    "DataPlacementPlan",
+    "RegionResidency",
 ]

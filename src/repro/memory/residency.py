@@ -1,0 +1,710 @@
+"""Residency ledger and data-placement plans (paper §III / Fig. 3).
+
+The paper's ``parallel target data`` regions keep *ranges* of arrays
+resident on each device: FULL maps replicate, BLOCK/ALIGN maps place one
+owner range per device, and later offloads only pay the bus for data a
+chunk touches that is **not** already there.  This module makes that an
+explicit subsystem:
+
+* :class:`ResidencyLedger` — per-(device, array) reference-counted mapped
+  row ranges (like the real runtime's refcounted target-data buffers)
+  plus the subset of rows whose device copy is currently *valid*.
+  Nested regions retain the same ranges again; a range is unmapped (and
+  eligible for copy-out) only when its refcount drops to zero.
+* :class:`DataPlacementPlan` — the per-device owner ranges a region
+  derives from its :mod:`repro.dist` policies: FULL replicates, BLOCK and
+  CYCLIC split, ALIGN copies another entry's placement (scaled by its
+  ratio), AUTO follows the loop distribution's shape (BLOCK at plan time).
+* :class:`RegionResidency` — a view binding the runtime's ledger to one
+  offload's device selection; the execution core charges each chunk the
+  *delta* between what it touches and what is resident, schedulers read
+  plan-aware data-cost terms from it, and device dropout invalidates the
+  lost device's entries through it.
+
+Validity semantics: entry marks planned ranges valid for ``to``/``tofrom``
+maps only (``alloc``/``from`` storage exists but holds no data yet); a
+kernel write marks the writer's rows valid and invalidates every other
+device's copy of those rows; a halo exchange re-validates boundary rows on
+the neighbour.  All row arithmetic is clamped to the array's registered
+extent.
+
+Everything here is deterministic and free of wall-clock state, so ledger
+decisions are identical across the virtual and threaded backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.dist.policy import Align, Block, Cyclic, Full, Policy
+from repro.errors import MappingError
+from repro.util.ranges import IterRange
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernels.base import LoopKernel
+
+__all__ = [
+    "DATA_VERSION",
+    "ResidencyLedger",
+    "DataPlacementPlan",
+    "RegionResidency",
+]
+
+#: Version of the data-placement layer.  Part of the sweep-cache
+#: fingerprint: bump on any change that could perturb transfer charging.
+DATA_VERSION = "1"
+
+
+# ---------------------------------------------------------------------------
+# Interval arithmetic over half-open (start, stop) spans
+# ---------------------------------------------------------------------------
+
+_Span = tuple[int, int]
+
+
+def _merge(spans: Iterable[_Span]) -> list[_Span]:
+    """Sorted union of spans, empty ones dropped, adjacents coalesced."""
+    out: list[list[int]] = []
+    for s, e in sorted(spans):
+        if s >= e:
+            continue
+        if out and s <= out[-1][1]:
+            if e > out[-1][1]:
+                out[-1][1] = e
+        else:
+            out.append([s, e])
+    return [(s, e) for s, e in out]
+
+
+def _subtract(a: list[_Span], b: list[_Span]) -> list[_Span]:
+    """Rows of ``a`` not covered by ``b`` (both merged)."""
+    out: list[_Span] = []
+    for s, e in a:
+        cur = s
+        for bs, be in b:
+            if be <= cur:
+                continue
+            if bs >= e:
+                break
+            if bs > cur:
+                out.append((cur, bs))
+            cur = max(cur, be)
+            if cur >= e:
+                break
+        if cur < e:
+            out.append((cur, e))
+    return out
+
+
+def _intersect(a: list[_Span], b: list[_Span]) -> list[_Span]:
+    """Rows covered by both ``a`` and ``b`` (both merged)."""
+    out: list[_Span] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        s = max(a[i][0], b[j][0])
+        e = min(a[i][1], b[j][1])
+        if s < e:
+            out.append((s, e))
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def _count(spans: list[_Span]) -> int:
+    return sum(e - s for s, e in spans)
+
+
+_Seg = tuple[int, int, int]  # (start, stop, refs)
+
+
+def _overlay(
+    segs: list[_Seg], spans: list[_Span], delta: int
+) -> tuple[list[_Seg], list[_Span]]:
+    """Add ``delta`` references over ``spans`` of a disjoint segment list.
+
+    Returns the new segment list and the spans whose refcount reached
+    zero (always empty for ``delta > 0``).  Releasing rows that were
+    never retained is a ledger invariant violation and raises.
+    """
+    bounds = sorted(
+        {p for s, e, _ in segs for p in (s, e)}
+        | {p for s, e in spans for p in (s, e)}
+    )
+    new: list[list[int]] = []
+    dropped: list[_Span] = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        refs = 0
+        for s, e, r in segs:
+            if s <= lo and hi <= e:
+                refs = r
+                break
+        inside = any(s <= lo and hi <= e for s, e in spans)
+        nr = refs + delta if inside else refs
+        if nr < 0:
+            raise MappingError(
+                f"residency ledger: rows [{lo},{hi}) released more times "
+                "than they were retained"
+            )
+        if inside and refs > 0 and nr == 0:
+            dropped.append((lo, hi))
+        if nr > 0:
+            if new and new[-1][1] == lo and new[-1][2] == nr:
+                new[-1][1] = hi
+            else:
+                new.append([lo, hi, nr])
+    return [(s, e, r) for s, e, r in new], _merge(dropped)
+
+
+def _spans(ranges: Iterable[IterRange]) -> list[_Span]:
+    return _merge((r.start, r.stop) for r in ranges)
+
+
+def _ranges(spans: list[_Span]) -> list[IterRange]:
+    return [IterRange(s, e) for s, e in spans]
+
+
+# ---------------------------------------------------------------------------
+# The ledger
+# ---------------------------------------------------------------------------
+
+class ResidencyLedger:
+    """Which rows of which named arrays live (and are valid) on which device.
+
+    Keys are array *names* — the same identity target-data maps and kernel
+    maps use — and global device ids.  Mapped ranges are reference-counted
+    so nested regions compose like real target-data regions: the inner
+    region's entry of an already-mapped range moves nothing, and only the
+    release that drops a range to zero references unmaps it (making it the
+    copy-out candidate).  Thread-safe: the wall-clock backend charges
+    chunks from concurrent proxy threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._rows: dict[str, int] = {}
+        self._row_bytes: dict[str, int] = {}
+        self._refs: dict[tuple[int, str], list[_Seg]] = {}
+        self._valid: dict[tuple[int, str], list[_Span]] = {}
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True when no array is mapped anywhere (all regions drained)."""
+        return not self._rows
+
+    def known(self, name: str) -> bool:
+        """Is ``name`` currently mapped (by any open region)?"""
+        return name in self._rows
+
+    def arrays(self) -> tuple[str, ...]:
+        return tuple(sorted(self._rows))
+
+    def rows_of(self, name: str) -> int:
+        return self._rows[name]
+
+    def row_bytes(self, name: str) -> int:
+        return self._row_bytes[name]
+
+    def register(self, name: str, rows: int, row_bytes: int) -> None:
+        """Declare an array's dim-0 extent and bytes per row.
+
+        Idempotent for matching geometry; a second region mapping the same
+        name with a different shape is a mapping conflict.
+        """
+        with self._lock:
+            if name in self._rows:
+                if (rows, row_bytes) != (self._rows[name], self._row_bytes[name]):
+                    raise MappingError(
+                        f"array {name!r} is already mapped with "
+                        f"{self._rows[name]} rows x {self._row_bytes[name]} B, "
+                        f"cannot remap as {rows} rows x {row_bytes} B"
+                    )
+                return
+            self._rows[name] = int(rows)
+            self._row_bytes[name] = int(row_bytes)
+
+    def _clamped(self, name: str, ranges: Iterable[IterRange]) -> list[_Span]:
+        rows = self._rows[name]
+        return _merge(
+            (max(0, r.start), min(rows, r.stop)) for r in ranges
+        )
+
+    # -- reference counting --------------------------------------------------
+
+    def retain(self, dev: int, name: str, ranges: Iterable[IterRange]) -> None:
+        """Add one mapping reference over ``ranges`` on ``dev``."""
+        with self._lock:
+            spans = self._clamped(name, ranges)
+            if not spans:
+                return
+            key = (dev, name)
+            new, _ = _overlay(self._refs.get(key, []), spans, +1)
+            self._refs[key] = new
+
+    def release(
+        self, dev: int, name: str, ranges: Iterable[IterRange]
+    ) -> tuple[list[IterRange], int]:
+        """Drop one mapping reference over ``ranges`` on ``dev``.
+
+        Returns ``(unmapped, valid_rows)``: the ranges whose refcount
+        reached zero (the device buffer is gone for them) and how many of
+        those rows held valid data — the copy-out candidates.  When the
+        device's last reference for ``name`` goes, all its validity state
+        for the array goes with it; when the array's last reference across
+        *all* devices goes, its geometry is forgotten too.
+        """
+        with self._lock:
+            if name not in self._rows:
+                return [], 0
+            key = (dev, name)
+            spans = self._clamped(name, ranges)
+            new, unmapped = _overlay(self._refs.get(key, []), spans, -1)
+            valid = self._valid.get(key, [])
+            n_valid = _count(_intersect(valid, unmapped))
+            if new:
+                self._refs[key] = new
+                remaining = _subtract(valid, unmapped)
+                if remaining:
+                    self._valid[key] = remaining
+                else:
+                    self._valid.pop(key, None)
+            else:
+                self._refs.pop(key, None)
+                self._valid.pop(key, None)
+            if not any(k[1] == name for k in self._refs):
+                del self._rows[name]
+                del self._row_bytes[name]
+                for k in [k for k in self._valid if k[1] == name]:
+                    del self._valid[k]
+            return _ranges(unmapped), n_valid
+
+    def retained(self, dev: int, name: str) -> list[IterRange]:
+        """Ranges currently mapped (refcount > 0) on ``dev``."""
+        with self._lock:
+            return _ranges(
+                _merge((s, e) for s, e, _ in self._refs.get((dev, name), []))
+            )
+
+    def retained_count(self, dev: int, name: str) -> int:
+        with self._lock:
+            return sum(e - s for s, e, _ in self._refs.get((dev, name), []))
+
+    # -- validity ------------------------------------------------------------
+
+    def mark_valid(self, dev: int, name: str, ranges: Iterable[IterRange]) -> None:
+        """The device's copy of ``ranges`` now holds the data."""
+        with self._lock:
+            spans = self._clamped(name, ranges)
+            if not spans:
+                return
+            key = (dev, name)
+            self._valid[key] = _merge(self._valid.get(key, []) + spans)
+
+    def invalidate(self, dev: int, name: str, ranges: Iterable[IterRange]) -> None:
+        """The device's copy of ``ranges`` is stale (or never arrived)."""
+        with self._lock:
+            if name not in self._rows:
+                return
+            key = (dev, name)
+            valid = self._valid.get(key)
+            if not valid:
+                return
+            remaining = _subtract(valid, self._clamped(name, ranges))
+            if remaining:
+                self._valid[key] = remaining
+            else:
+                del self._valid[key]
+
+    def note_write(self, dev: int, name: str, rows: IterRange) -> None:
+        """``dev`` wrote ``rows``: its copy becomes the valid one and every
+        other device's copy of those rows goes stale."""
+        with self._lock:
+            self.mark_valid(dev, name, [rows])
+            others = {
+                k[0]
+                for src in (self._valid, self._refs)
+                for k in src
+                if k[1] == name and k[0] != dev
+            }
+            for other in others:
+                self.invalidate(other, name, [rows])
+
+    def invalidate_device(self, dev: int) -> int:
+        """Drop all validity on ``dev`` (dropout: contents are lost; the
+        mappings themselves survive until their regions release them).
+        Returns the number of rows invalidated."""
+        with self._lock:
+            keys = [k for k in self._valid if k[0] == dev]
+            lost = 0
+            for k in keys:
+                lost += _count(self._valid[k])
+                del self._valid[k]
+            return lost
+
+    def valid_rows(self, dev: int, name: str) -> list[IterRange]:
+        with self._lock:
+            return _ranges(list(self._valid.get((dev, name), [])))
+
+    def valid_count(
+        self, dev: int, name: str, ranges: Iterable[IterRange]
+    ) -> int:
+        with self._lock:
+            if name not in self._rows:
+                return 0
+            return _count(
+                _intersect(
+                    self._valid.get((dev, name), []), self._clamped(name, ranges)
+                )
+            )
+
+    def missing_rows(
+        self, dev: int, name: str, ranges: Iterable[IterRange]
+    ) -> list[IterRange]:
+        """Rows of ``ranges`` whose data is *not* valid on ``dev``."""
+        with self._lock:
+            return _ranges(
+                _subtract(
+                    self._clamped(name, ranges),
+                    self._valid.get((dev, name), []),
+                )
+            )
+
+    def missing_count(
+        self, dev: int, name: str, ranges: Iterable[IterRange]
+    ) -> int:
+        with self._lock:
+            return _count(
+                _subtract(
+                    self._clamped(name, ranges),
+                    self._valid.get((dev, name), []),
+                )
+            )
+
+    def missing_everywhere(
+        self, devs: Iterable[int], name: str, ranges: Iterable[IterRange]
+    ) -> int:
+        """Rows of ``ranges`` valid on *none* of ``devs`` — the rows whose
+        staged copy is gone everywhere (never staged, or lost with a
+        dropped device) and must cross the bus again.  Rows valid on any
+        sibling are refreshed host-mediated within the region, for free."""
+        with self._lock:
+            if name not in self._rows:
+                return 0
+            want = self._clamped(name, ranges)
+            for d in devs:
+                if not want:
+                    return 0
+                want = _subtract(want, self._valid.get((d, name), []))
+            return _count(want)
+
+    def describe(self) -> dict:
+        """Deterministic snapshot (debugging / tests)."""
+        with self._lock:
+            return {
+                "arrays": {
+                    n: {"rows": self._rows[n], "row_bytes": self._row_bytes[n]}
+                    for n in sorted(self._rows)
+                },
+                "refs": {
+                    f"{d}:{n}": [(s, e, r) for s, e, r in segs]
+                    for (d, n), segs in sorted(self._refs.items())
+                },
+                "valid": {
+                    f"{d}:{n}": list(spans)
+                    for (d, n), spans in sorted(self._valid.items())
+                },
+            }
+
+
+# ---------------------------------------------------------------------------
+# Placement plans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DataPlacementPlan:
+    """Per-device owner ranges for every array of one target-data region.
+
+    Derived once at region entry from the region's :mod:`repro.dist`
+    policies (paper Table I): FULL replicates the whole extent on every
+    device, BLOCK/CYCLIC split it, ALIGN copies the placement of its
+    target entry scaled by the ALIGN ratio, and AUTO — whose loop split
+    is only decided by the scheduler at offload time — takes the BLOCK
+    shape the runtime's schedulers converge to.  Unresolvable ALIGN
+    targets (loop labels, cycles) fall back to BLOCK the same way.
+    """
+
+    ndev: int
+    placements: Mapping[str, tuple[tuple[IterRange, ...], ...]]
+
+    def arrays(self) -> tuple[str, ...]:
+        return tuple(sorted(self.placements))
+
+    def ranges(self, name: str, dev: int) -> tuple[IterRange, ...]:
+        """Owner ranges of ``name`` on local device index ``dev``."""
+        return self.placements[name][dev]
+
+    def placed_rows(self, name: str, dev: int) -> int:
+        return sum(len(r) for r in self.placements[name][dev])
+
+    def describe(self) -> dict:
+        return {
+            name: [
+                [(r.start, r.stop) for r in per_dev]
+                for per_dev in self.placements[name]
+            ]
+            for name in self.arrays()
+        }
+
+    @classmethod
+    def derive(
+        cls, entries: Mapping[str, tuple[int, Policy]], ndev: int
+    ) -> "DataPlacementPlan":
+        """Build the plan for ``entries`` (name -> (dim-0 rows, policy))."""
+        if ndev <= 0:
+            raise MappingError(f"placement plan needs ndev > 0, got {ndev}")
+        memo: dict[str, tuple[tuple[IterRange, ...], ...]] = {}
+        resolving: set[str] = set()
+
+        def split_static(
+            rows: int, policy: Policy
+        ) -> tuple[tuple[IterRange, ...], ...]:
+            parts = policy.split(IterRange(0, rows), ndev)
+            return tuple(
+                tuple(r for r in ranges if not r.empty) for ranges in parts
+            )
+
+        def resolve(name: str) -> tuple[tuple[IterRange, ...], ...]:
+            if name in memo:
+                return memo[name]
+            rows, policy = entries[name]
+            region = IterRange(0, rows)
+            if isinstance(policy, Full):
+                placed = tuple((region,) for _ in range(ndev))
+            elif isinstance(policy, (Block, Cyclic)):
+                placed = split_static(rows, policy)
+            elif isinstance(policy, Align):
+                target = policy.target
+                if (
+                    target in entries
+                    and target != name
+                    and target not in resolving
+                ):
+                    resolving.add(name)
+                    base = resolve(target)
+                    resolving.discard(name)
+                    ratio = policy.ratio
+
+                    def s(x: int) -> int:
+                        return min(rows, max(0, round(x * ratio)))
+
+                    placed = tuple(
+                        tuple(
+                            sr
+                            for r in per_dev
+                            for sr in [IterRange(s(r.start), s(r.stop))]
+                            if not sr.empty
+                        )
+                        for per_dev in base
+                    )
+                else:
+                    # Loop-label target (resolved only at offload time) or
+                    # a cycle: the schedulers' static shape is BLOCK.
+                    placed = split_static(rows, Block())
+            else:  # Auto and anything future: follow the loop shape
+                placed = split_static(rows, Block())
+            memo[name] = placed
+            return placed
+
+        for name in entries:
+            resolve(name)
+        return cls(ndev=ndev, placements=dict(memo))
+
+
+# ---------------------------------------------------------------------------
+# The per-offload view
+# ---------------------------------------------------------------------------
+
+class RegionResidency:
+    """A ledger bound to one offload's device selection.
+
+    The execution core, the scheduler context and the halo planner all
+    address devices by *local* index (position in the offload's device
+    list); the ledger speaks global device ids.  This view translates and
+    packages the three questions the data path asks:
+
+    * what does this chunk cost, given what is already resident
+      (:meth:`charge_chunk`)?
+    * what are a device's steady-state per-iteration / fixed data costs
+      (:meth:`per_iter_xfer_bytes`, :meth:`replicated_in_bytes`)?
+    * a device died — forget everything it held (:meth:`device_lost`).
+    """
+
+    __slots__ = ("ledger", "ids")
+
+    def __init__(self, ledger: ResidencyLedger, device_ids: Iterable[int]):
+        self.ledger = ledger
+        self.ids = tuple(device_ids)
+
+    def global_id(self, local_dev: int) -> int:
+        return self.ids[local_dev]
+
+    # -- engine-core charging ------------------------------------------------
+
+    def charge_chunk(
+        self,
+        local_dev: int,
+        kernel: "LoopKernel",
+        chunk: IterRange,
+        *,
+        first_chunk: bool,
+    ) -> tuple[float, float, float, float]:
+        """Bytes one chunk moves and elides on ``local_dev``.
+
+        Returns ``(bytes_in, bytes_out, elided_in, elided_out)``.  For
+        ledger-known arrays the inbound charge is the halo-expanded rows
+        the chunk reads minus what is valid on *any* region device — the
+        region's host image mediates sibling refreshes for free (the same
+        abstraction the explicit halo-exchange cost sits on top of), so a
+        chunk pays only for rows that were never staged (reading an
+        ALLOC/FROM array before any write) or whose only valid copy died
+        with a dropout; read rows are then recorded as the reader's valid
+        copy so a retry or re-adoption stays free.  Outbound rows stay on
+        the device until the region drains: elided, and recorded as the
+        writer's exclusive copy (``note_write`` stales the siblings, which
+        is what halo planning measures).  Arrays the ledger does not know
+        follow the flat per-chunk model (full rows in, full rows out),
+        matching the pre-ledger engine bit for bit.
+        """
+        led = self.ledger
+        dev = self.ids[local_dev]
+        bytes_in = bytes_out = 0.0
+        elided_in = elided_out = 0.0
+        resident = kernel.resident
+        for m in kernel.effective_maps():
+            name = m.name
+            known = led.known(name)
+            if m.partitioned:
+                if known:
+                    row_b = led.row_bytes(name)
+                    region0 = kernel.input_region(m, chunk)[0]
+                    if m.direction.copies_in:
+                        miss = led.missing_everywhere(self.ids, name, [region0])
+                        bytes_in += row_b * miss
+                        elided_in += row_b * (len(region0) - miss)
+                        led.mark_valid(dev, name, [region0])
+                    if m.direction.copies_out:
+                        elided_out += row_b * len(chunk)
+                        led.note_write(dev, name, chunk)
+                elif name in resident:
+                    continue  # legacy boolean residency: free, untracked
+                else:
+                    row_b = kernel.row_nbytes(name)
+                    n = len(chunk)
+                    if m.direction.copies_in:
+                        bytes_in += row_b * n
+                    if m.direction.copies_out:
+                        bytes_out += row_b * n
+            else:  # FULL map: inbound replica on first chunk only
+                if m.direction.copies_in and first_chunk:
+                    if known:
+                        whole = IterRange(0, led.rows_of(name))
+                        miss = led.missing_everywhere(self.ids, name, [whole])
+                        bytes_in += led.row_bytes(name) * miss
+                        elided_in += led.row_bytes(name) * (len(whole) - miss)
+                        led.mark_valid(dev, name, [whole])
+                    elif name not in resident:
+                        bytes_in += kernel.arrays[name].nbytes
+                if known and m.direction.copies_out:
+                    led.note_write(dev, name, chunk)
+        return bytes_in, bytes_out, elided_in, elided_out
+
+    def forget_chunk(
+        self, local_dev: int, kernel: "LoopKernel", chunk: IterRange
+    ) -> None:
+        """A charged chunk never completed (transfer retries exhausted):
+        conservatively drop the validity its charge recorded."""
+        led = self.ledger
+        dev = self.ids[local_dev]
+        for m in kernel.effective_maps():
+            if m.partitioned and led.known(m.name):
+                region0 = kernel.input_region(m, chunk)[0]
+                led.invalidate(dev, m.name, [region0])
+
+    def device_lost(self, local_dev: int) -> int:
+        """Dropout: everything the device held is gone; reassigned chunks
+        will re-pay their transfers.  Returns rows invalidated."""
+        return self.ledger.invalidate_device(self.ids[local_dev])
+
+    # -- scheduler data-cost terms (Table III DataT / fixed costs) -----------
+
+    def per_iter_xfer_bytes(self, local_dev: int, kernel: "LoopKernel") -> float:
+        """Steady-state bus bytes per iteration the model should assume.
+
+        Ledger-known partitioned arrays charge only the fraction of the
+        device's mapped ranges valid *nowhere* in the region (zero on an
+        intact placement, the full rate again after a dropout took the
+        only copy); unknown arrays charge the flat per-row rate, exactly
+        like the plain ``kernel.xfer_elems_per_iter()`` model.
+        """
+        led = self.ledger
+        dev = self.ids[local_dev]
+        total = 0.0
+        resident = kernel.resident
+        for m in kernel.effective_maps():
+            if not m.partitioned:
+                continue
+            name = m.name
+            if led.known(name):
+                if not m.direction.copies_in:
+                    continue  # outbound rows stay resident until region exit
+                held = led.retained(dev, name)
+                n_held = sum(len(r) for r in held)
+                if n_held == 0:
+                    frac = 1.0  # nothing placed here: every row is foreign
+                else:
+                    frac = led.missing_everywhere(self.ids, name, held) / n_held
+                total += led.row_bytes(name) * frac
+            elif name in resident:
+                continue
+            else:
+                row_b = kernel.row_nbytes(name)
+                if m.direction.copies_in:
+                    total += row_b
+                if m.direction.copies_out:
+                    total += row_b
+        return total
+
+    def replicated_in_bytes(self, local_dev: int, kernel: "LoopKernel") -> float:
+        """One-off broadcast bytes for FULL-mapped inputs on this device."""
+        led = self.ledger
+        total = 0.0
+        for m in kernel.effective_maps():
+            if not m.replicated or not m.direction.copies_in:
+                continue
+            name = m.name
+            if led.known(name):
+                whole = IterRange(0, led.rows_of(name))
+                total += led.row_bytes(name) * led.missing_everywhere(
+                    self.ids, name, [whole]
+                )
+            elif name not in kernel.resident:
+                total += kernel.arrays[name].nbytes
+        return total
+
+    # -- halo routing ---------------------------------------------------------
+
+    def knows(self, name: str) -> bool:
+        return self.ledger.known(name)
+
+    def missing_in(self, local_dev: int, name: str, rows: IterRange) -> int:
+        """Rows of ``rows`` not valid on the device (bytes = rows x row_bytes)."""
+        return self.ledger.missing_count(self.ids[local_dev], name, [rows])
+
+    def mark_resident(self, local_dev: int, name: str, rows: IterRange) -> None:
+        """Rows arrived on the device (halo delivery)."""
+        self.ledger.mark_valid(self.ids[local_dev], name, [rows])

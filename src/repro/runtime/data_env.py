@@ -5,13 +5,24 @@ devices across several offloads — the Jacobi pattern: map ``f``, ``u``,
 ``uold`` once, iterate many parallel loops without re-transferring, unmap
 (copy back ``tofrom`` data) at exit.
 
-Entry charges the copy-in of each array's per-device share (BLOCK-shaped:
-``1/ndev`` of partitioned arrays, the whole array for FULL maps); exit
-charges the copy-out.  While the region is open, offloads issued through
-:meth:`parallel_for` mark those arrays ``resident`` so their per-chunk bus
-costs vanish.  This mirrors the real runtime's reference-counted device
-buffers without modelling their exact placement, which is a documented
-simplification (DESIGN.md §2).
+Entry derives a :class:`~repro.memory.residency.DataPlacementPlan` from
+the region's dim-0 policies (FULL replicates, BLOCK/CYCLIC split, ALIGN
+follows its target scaled by the ratio, AUTO takes the BLOCK shape the
+schedulers converge to) and retains each device's owner ranges in the
+runtime's :class:`~repro.memory.residency.ResidencyLedger` — reference
+counted, like the real runtime's device buffers, so nested regions
+mapping the same array stage nothing and only the outermost exit drains
+the buffer.  Entry charges the copy-in of exactly the rows *not already
+valid* on each device; exit releases the references and charges the
+copy-out of the valid rows whose refcount reached zero — and only on a
+clean exit: when the body raises, buffers are torn down without the
+copy-back (the data never materialised).
+
+While the region is open, offloads issued through :meth:`parallel_for`
+run with the ledger attached: the engine charges each chunk only the
+delta between the rows it touches and what is resident, writes update
+ownership (``note_write``), and a device dropout invalidates everything
+the lost device held so surviving devices re-pay honestly.
 """
 
 from __future__ import annotations
@@ -20,10 +31,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dist.policy import Block, Full, Policy
 from repro.engine.trace import OffloadResult
 from repro.errors import OffloadError
+from repro.memory.residency import DataPlacementPlan, RegionResidency
 from repro.memory.space import MapDirection
 from repro.runtime.runtime import HompRuntime
+from repro.util.ranges import IterRange
 
 __all__ = ["TargetDataRegion"]
 
@@ -36,40 +50,124 @@ class TargetDataRegion:
     maps: dict[str, tuple[np.ndarray, MapDirection]]
     devices: list[int] | str | None = None
     partitioned: frozenset[str] = frozenset()  # arrays block-split, not replicated
+    #: Dim-0 placement policy per partitioned array (from the directive's
+    #: ``partition(...)`` entries); missing names default to BLOCK when
+    #: partitioned, FULL otherwise.
+    policies: dict[str, Policy] = field(default_factory=dict)
     map_in_s: float = 0.0
     map_out_s: float = 0.0
     offload_s: float = field(default=0.0, init=False)
     _open: bool = field(default=False, init=False)
+    _ids: list[int] = field(default_factory=list, init=False)
+    _plan: DataPlacementPlan | None = field(default=None, init=False)
+    #: (local index, global devid, array, retained ranges) per ledger ref.
+    _retained: list[tuple[int, int, str, tuple[IterRange, ...]]] = field(
+        default_factory=list, init=False
+    )
+
+    def _policy_for(self, name: str) -> Policy:
+        pol = self.policies.get(name)
+        if pol is not None:
+            return pol
+        return Block() if name in self.partitioned else Full()
 
     def __enter__(self) -> "TargetDataRegion":
         ids = self.runtime.select_devices(self.devices)
+        if not ids:
+            raise OffloadError(
+                "target data region opened with zero devices: nothing can "
+                "hold the mapped arrays"
+            )
         specs = [self.runtime.machine[i] for i in ids]
-        n_owners = max(1, len(ids))
+        ledger = self.runtime.ledger
+
+        entries: dict[str, tuple[int, Policy]] = {}
+        for name, (arr, _direction) in self.maps.items():
+            rows = int(arr.shape[0]) if arr.ndim else 1
+            entries[name] = (rows, self._policy_for(name))
+        plan = DataPlacementPlan.derive(entries, len(ids))
+
         per_device_in = [0.0] * len(ids)
         per_device_out = [0.0] * len(ids)
+        retained: list[tuple[int, int, str, tuple[IterRange, ...]]] = []
         for name, (arr, direction) in self.maps.items():
-            for k, spec in enumerate(specs):
-                share = (
-                    arr.nbytes / n_owners if name in self.partitioned else arr.nbytes
-                )
+            rows, _pol = entries[name]
+            if rows <= 0:
+                continue  # zero-extent array: nothing to place or move
+            row_bytes = arr.nbytes // rows
+            ledger.register(name, rows, row_bytes)
+            for k, gid in enumerate(ids):
+                ranges = plan.ranges(name, k)
+                if not ranges:
+                    continue
+                placed = sum(len(r) for r in ranges)
                 if direction.copies_in:
-                    per_device_in[k] += spec.link.transfer_time(share)
+                    # Only the rows not already valid on the device cross
+                    # the link (an enclosing region may have staged them).
+                    missing = ledger.missing_count(gid, name, ranges)
+                    per_device_in[k] += specs[k].link.transfer_time(
+                        row_bytes * missing
+                    )
                 if direction.copies_out:
-                    per_device_out[k] += spec.link.transfer_time(share)
+                    # Projected copy-back; exit replaces this with the
+                    # rows actually drained (zero if the body raises).
+                    per_device_out[k] += specs[k].link.transfer_time(
+                        row_bytes * placed
+                    )
+                ledger.retain(gid, name, ranges)
+                if direction.copies_in:
+                    ledger.mark_valid(gid, name, ranges)
+                retained.append((k, gid, name, ranges))
+
         self.map_in_s = max(per_device_in, default=0.0)
         self.map_out_s = max(per_device_out, default=0.0)
+        self.offload_s = 0.0
         self._ids = ids
+        self._plan = plan
+        self._retained = retained
         self._open = True
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._open = False
+        ledger = self.runtime.ledger
+        per_device_out = [0.0] * len(self._ids)
+        for k, gid, name, ranges in self._retained:
+            _arr, direction = self.maps[name]
+            row_bytes = ledger.row_bytes(name) if ledger.known(name) else 0
+            _dropped, n_valid = ledger.release(gid, name, ranges)
+            if exc_type is None and direction.copies_out and n_valid:
+                spec = self.runtime.machine[gid]
+                per_device_out[k] += spec.link.transfer_time(
+                    row_bytes * n_valid
+                )
+        self._retained = []
+        # Copy-back happens only when the region body completed; a raising
+        # body tears the buffers down without draining them (no map-out).
+        self.map_out_s = (
+            max(per_device_out, default=0.0) if exc_type is None else 0.0
+        )
+
+    @property
+    def plan(self) -> DataPlacementPlan:
+        """The placement plan derived at entry (open regions only)."""
+        if self._plan is None:
+            raise OffloadError("target data region is not open")
+        return self._plan
+
+    @property
+    def residency(self) -> RegionResidency:
+        """Ledger view bound to this region's devices (for halo planning)."""
+        if not self._open:
+            raise OffloadError("target data region is not open")
+        return RegionResidency(self.runtime.ledger, self._ids)
 
     def parallel_for(self, kernel, **kwargs) -> OffloadResult:
         """Offload with this region's arrays held resident."""
         if not self._open:
             raise OffloadError("target data region is not open")
         kwargs.setdefault("devices", self._ids)
+        kwargs.setdefault("residency", self.runtime.ledger)
         resident = frozenset(self.maps) & frozenset(kernel.arrays)
         result = self.runtime.parallel_for(kernel, resident=resident, **kwargs)
         self.offload_s += result.total_time_s

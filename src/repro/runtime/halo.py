@@ -4,9 +4,18 @@ With a row-block distribution, each device must refresh ``width`` boundary
 rows from each neighbour every iteration.  Between discrete devices the
 bytes travel device -> host -> device (two link crossings; the paper's
 machine has no peer-to-peer path between its K80 cards and MICs);
-host-shared devices exchange for free.  The numeric ground truth lives in
-host arrays, so only the *cost* needs simulating — the plan records who
-sends what to whom and the virtual time the exchange adds.
+host-shared devices — SHARED memory *and* UNIFIED memory, whose pages
+the driver migrates on access rather than at exchange time — exchange
+for free.  The numeric ground truth lives in host arrays, so only the
+*cost* needs simulating — the plan records who sends what to whom and
+the virtual time the exchange adds.
+
+When the enclosing target-data region's residency view is passed in
+(``residency=`` + ``array=``), the plan consults the ledger: boundary
+rows already valid on the receiving device are elided (reported in
+:attr:`HaloExchange.elided_bytes`), and the rows a transfer does deliver
+are marked resident so the *next* exchange is free until someone writes
+them (``note_write`` invalidation re-opens the bill).
 """
 
 from __future__ import annotations
@@ -15,7 +24,9 @@ from dataclasses import dataclass
 
 from repro.dist.distribution import DimDistribution
 from repro.errors import DistributionError
-from repro.machine.spec import MachineSpec
+from repro.machine.spec import MachineSpec, MemoryKind
+from repro.memory.residency import RegionResidency
+from repro.util.ranges import IterRange
 
 __all__ = ["HaloExchange", "plan_halo_exchange"]
 
@@ -25,6 +36,8 @@ class _Transfer:
     src: int
     dst: int
     nbytes: int
+    #: Boundary rows delivered to ``dst`` (None for width-only planning).
+    rows: IterRange | None = None
 
 
 @dataclass(frozen=True)
@@ -33,10 +46,31 @@ class HaloExchange:
 
     transfers: tuple[_Transfer, ...]
     time_s: float
+    #: Bytes the residency ledger proved already valid on the receiver —
+    #: boundary rows that did *not* need to move this exchange.
+    elided_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
         return sum(t.nbytes for t in self.transfers)
+
+
+def _span(dist: DimDistribution, devid: int) -> IterRange:
+    """Contiguous extent a device owns (row-block distributions)."""
+    ranges = dist.device_ranges(devid)
+    return IterRange(min(r.start for r in ranges), max(r.stop for r in ranges))
+
+
+def _crossing_time(spec, nbytes: int) -> float:
+    """One link crossing for ``nbytes`` on ``spec``'s link.
+
+    Host-shared endpoints are free: SHARED memory by construction, and
+    UNIFIED memory because its pages migrate lazily at access time — that
+    cost is the engine's unified-memory model, not the exchange's.
+    """
+    if spec.memory is not MemoryKind.DISCRETE:
+        return 0.0
+    return spec.link.transfer_time(nbytes)
 
 
 def plan_halo_exchange(
@@ -45,13 +79,22 @@ def plan_halo_exchange(
     *,
     width: int,
     row_bytes: int,
+    residency: RegionResidency | None = None,
+    array: str | None = None,
 ) -> HaloExchange:
     """Plan the boundary exchange for a contiguous row-block distribution.
 
-    Each adjacent owner pair exchanges ``width`` rows in both directions.
-    Per-device time is the serial sum of its link crossings (send up +
-    send down + receive up + receive down); the exchange completes when
-    the slowest device is done, since all devices synchronise after it.
+    Each adjacent owner pair exchanges ``width`` rows in both directions:
+    the lower owner's last ``width`` rows refresh the upper device and
+    vice versa.  Per-device time is the serial sum of its link crossings
+    (send up + send down + receive up + receive down); the exchange
+    completes when the slowest device is done, since all devices
+    synchronise after it.
+
+    With ``residency`` (a region's ledger view; device indices here are
+    local positions in its device list) and ``array`` (the ledger name of
+    the exchanged array), rows already valid on the receiver are elided
+    and delivered rows are marked resident.
     """
     if width < 0:
         raise DistributionError(f"halo width must be >= 0, got {width}")
@@ -59,26 +102,49 @@ def plan_halo_exchange(
         raise DistributionError(
             f"distribution covers {dist.ndev} devices, machine has {len(machine)}"
         )
+    track = (
+        residency is not None
+        and array is not None
+        and residency.knows(array)
+    )
     owners = [
         d
         for d in range(dist.ndev)
         if dist.device_size(d) > 0
     ]
     transfers: list[_Transfer] = []
-    nbytes = width * row_bytes
-    if width > 0 and nbytes > 0:
+    elided_bytes = 0
+    if width > 0 and row_bytes > 0:
         for a, b in zip(owners, owners[1:]):
-            transfers.append(_Transfer(src=a, dst=b, nbytes=nbytes))
-            transfers.append(_Transfer(src=b, dst=a, nbytes=nbytes))
+            sa, sb = _span(dist, a), _span(dist, b)
+            # a's top rows refresh b; b's bottom rows refresh a.
+            legs = (
+                (a, b, IterRange(max(sa.start, sa.stop - width), sa.stop)),
+                (b, a, IterRange(sb.start, min(sb.stop, sb.start + width))),
+            )
+            for src, dst, rows in legs:
+                if rows.empty:
+                    continue
+                if track:
+                    missing = residency.missing_in(dst, array, rows)
+                    elided_bytes += row_bytes * (len(rows) - missing)
+                    residency.mark_resident(dst, array, rows)
+                    if missing == 0:
+                        continue  # receiver already holds the rows
+                    nbytes = row_bytes * missing
+                else:
+                    nbytes = row_bytes * len(rows)
+                transfers.append(
+                    _Transfer(src=src, dst=dst, nbytes=nbytes, rows=rows)
+                )
 
     per_device = [0.0] * dist.ndev
     for t in transfers:
         # device -> host on the source link, host -> device on the target.
-        src_cost = machine[t.src].link.transfer_time(t.nbytes)
-        dst_cost = machine[t.dst].link.transfer_time(t.nbytes)
-        per_device[t.src] += src_cost
-        per_device[t.dst] += dst_cost
+        per_device[t.src] += _crossing_time(machine[t.src], t.nbytes)
+        per_device[t.dst] += _crossing_time(machine[t.dst], t.nbytes)
     return HaloExchange(
         transfers=tuple(transfers),
         time_s=max(per_device, default=0.0),
+        elided_bytes=elided_bytes,
     )

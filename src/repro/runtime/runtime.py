@@ -15,7 +15,7 @@ offload entry points are:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.dist.policy import Align, Auto, Policy
 from repro.engine.core import make_backend
@@ -29,6 +29,7 @@ from repro.kernels.base import LoopKernel
 from repro.lang.device_spec import parse_device_clause
 from repro.lang.pragma import OffloadDirective, parse_directive
 from repro.machine.spec import MachineSpec
+from repro.memory.residency import RegionResidency, ResidencyLedger
 from repro.sched.align_sched import AlignedScheduler
 from repro.sched.base import LoopScheduler
 from repro.sched.cutoff import default_cutoff_ratio
@@ -46,6 +47,11 @@ class HompRuntime:
     machine: MachineSpec
     seed: int = 0
     execute_numerically: bool = True
+    #: Per-device buffer-residency ledger shared by this runtime's
+    #: target-data regions (global device ids).  Regions retain/release
+    #: mapped ranges here; offloads running inside a region charge only
+    #: the delta between what a chunk touches and what is resident.
+    ledger: ResidencyLedger = field(default_factory=ResidencyLedger)
 
     @classmethod
     def from_file(cls, path, **kwargs) -> "HompRuntime":
@@ -111,6 +117,7 @@ class HompRuntime:
         devices=None,
         cutoff_ratio: float | str = 0.0,
         resident: frozenset[str] | set[str] | None = None,
+        residency: ResidencyLedger | None = None,
         record_events: bool = False,
         serialize_offload: bool = False,
         fault_plan: FaultPlan | None = None,
@@ -125,7 +132,12 @@ class HompRuntime:
         selection), a :class:`Policy` (``Align``/``Auto``), or a scheduler
         instance.  ``cutoff_ratio`` — a fraction, or ``"auto"`` for the
         paper's 1/ndev default.  ``resident`` — array names held on the
-        devices by an enclosing target-data region.  ``fault_plan`` —
+        devices by an enclosing target-data region.  ``residency`` — the
+        region's :class:`~repro.memory.residency.ResidencyLedger`; when
+        given, the engine charges each chunk only the bytes not already
+        resident on its device (the view onto the selected devices is
+        built here, after device selection, so overriding ``devices``
+        stays consistent).  ``fault_plan`` —
         faults to inject (device ids in the plan index the *selected*
         devices, in selection order); ``resilience`` — retry/quarantine
         policy for those faults (defaults apply when None).  ``tracer`` —
@@ -157,6 +169,8 @@ class HompRuntime:
             engine_kwargs["resilience"] = resilience
         if tracer is not None:
             engine_kwargs["tracer"] = tracer
+        if residency is not None:
+            engine_kwargs["residency"] = RegionResidency(residency, tuple(ids))
         engine = make_backend(
             executor if executor is not None else OffloadEngine,
             submachine,
@@ -211,6 +225,7 @@ class HompRuntime:
             raise SchedulingError("directive is not a target data region")
         maps: dict = {}
         partitioned: set[str] = set()
+        policies: dict[str, Policy] = {}
         for m in d.maps:
             if m.name not in arrays:
                 if m.is_scalar:
@@ -221,11 +236,13 @@ class HompRuntime:
                 type(p).__name__ == "Full" for p in m.policies
             ):
                 partitioned.add(m.name)
+                policies[m.name] = m.policies[0]  # dim-0 placement policy
         return TargetDataRegion(
             runtime=self,
             maps=maps,
             devices=d.device_clause,
             partitioned=frozenset(partitioned),
+            policies=policies,
         )
 
     def offload(self, directive: str | OffloadDirective, kernel: LoopKernel,

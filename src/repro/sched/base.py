@@ -41,6 +41,7 @@ from repro.machine.device import Device
 from repro.util.ranges import IterRange
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.residency import RegionResidency
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["BARRIER", "Decision", "SchedContext", "LoopScheduler"]
@@ -69,6 +70,10 @@ class SchedContext:
     chunk_pct: float = -1.0  # algorithm parameter; -1 = unused (paper notation)
     #: Metrics sink for traced runs (None when observability is off).
     metrics: "MetricsRegistry | None" = None
+    #: Residency view of the enclosing target-data region (None outside a
+    #: region).  When set, the data-cost terms below come from the region's
+    #: placement plan instead of the kernels' raw array bytes.
+    residency: "RegionResidency | None" = None
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -120,22 +125,37 @@ class SchedContext:
         return 1.0 / rate
 
     def per_iter_xfer_s(self, devid: int) -> float:
-        """DataT per iteration: aligned bytes over the device link."""
+        """DataT per iteration: aligned bytes over the device link.
+
+        Inside a target-data region the bytes come from the residency
+        view's placement plan (only the fraction of the device's mapped
+        ranges that is *missing* — zero on an intact placement, the full
+        rate again after a dropout); outside, from the kernel's flat
+        per-iteration transfer model.
+        """
         dev = self.devices[devid]
         if dev.spec.link.is_shared:
             return 0.0
-        nbytes = self.kernel.xfer_elems_per_iter() * ELEM
+        if self.residency is not None:
+            nbytes = self.residency.per_iter_xfer_bytes(devid, self.kernel)
+        else:
+            nbytes = self.kernel.xfer_elems_per_iter() * ELEM
         # Steady-state: bandwidth term only; latencies are in fixed_cost_s.
         return nbytes / (self.devices[devid].spec.link.bandwidth_gbs * 1e9)
 
     def fixed_cost_s(self, devid: int) -> float:
         """One-off cost of involving a device: launch, link latencies, and
-        the broadcast of FULL-mapped input arrays."""
+        the broadcast of FULL-mapped input arrays (only the not-yet-resident
+        bytes when a target-data region's placement covers them)."""
         dev = self.devices[devid]
         cost = dev.spec.launch_overhead_s
         if not dev.spec.link.is_shared:
             cost += 2 * dev.spec.link.latency_s  # one in + one out message
-            cost += dev.spec.link.transfer_time(self.kernel.replicated_in_bytes())
+            if self.residency is not None:
+                rep = self.residency.replicated_in_bytes(devid, self.kernel)
+            else:
+                rep = self.kernel.replicated_in_bytes()
+            cost += dev.spec.link.transfer_time(rep)
         return cost
 
     def per_iter_total_s(self, devid: int) -> float:

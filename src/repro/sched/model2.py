@@ -6,6 +6,12 @@ per-iteration rate includes the aligned bytes crossing the PCIe link, and
 the fixed cost includes launch overhead, link latencies and the broadcast
 of FULL-mapped arrays.  Host devices pay no transfer, which is exactly why
 this model shifts work toward the host for data-intensive kernels.
+
+Inside a target-data region both terms come from the residency view
+(:class:`~repro.sched.base.SchedContext` consults the region's placement
+plan through ``ctx.residency``): already-staged arrays contribute zero
+``DataT``/broadcast bytes, and rows a dropout wiped re-enter the bill, so
+the equal-time solution reflects what will actually cross the bus.
 """
 
 from __future__ import annotations

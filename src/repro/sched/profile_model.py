@@ -6,6 +6,12 @@ total) is split by the MODEL_2 equal-time solution, so fast devices
 profile on proportionally larger samples — better measurements at the same
 total profiling cost, and less stage-1 imbalance than constant samples on
 heterogeneous devices.
+
+The MODEL_2 terms feeding the stage-1 split are residency-aware: inside a
+target-data region ``ctx.per_iter_total_s``/``ctx.fixed_cost_s`` read the
+data-cost bytes from the region's placement plan (zero for staged arrays),
+so the sample split matches the elided-transfer timeline the engine will
+actually produce.
 """
 
 from __future__ import annotations

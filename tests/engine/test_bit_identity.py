@@ -87,3 +87,27 @@ def test_virtual_runs_reproduce_across_engine_instances(machine_fn):
         return checksum(eng.run(kernel, make_scheduler("SCHED_GUIDED")))
 
     assert one() == one()
+
+
+def test_region_lifecycle_leaves_no_region_runs_untouched(monkeypatch):
+    """Open, use, and drain a target-data region first: a subsequent
+    offload with no open region (and no ALIGN reuse) must still match the
+    pre-ledger fixture bit for bit — residency state must not leak."""
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "off")
+    from repro.memory.space import MapDirection
+    from repro.runtime.data_env import TargetDataRegion
+
+    rt = HompRuntime(gpu4_node(), seed=0)
+    warm = paper_workload("axpy", scale=0.05, seed=0)
+    maps = {
+        name: (arr, MapDirection.TOFROM) for name, arr in warm.arrays.items()
+    }
+    with TargetDataRegion(
+        runtime=rt, maps=maps, partitioned=frozenset(maps)
+    ) as region:
+        region.parallel_for(warm, schedule="SCHED_DYNAMIC")
+    assert rt.ledger.empty
+
+    kernel = paper_workload("axpy", scale=0.05, seed=0)
+    result = rt.parallel_for(kernel, schedule="SCHED_DYNAMIC", cutoff_ratio=0.0)
+    assert checksum(result) == FIXTURE.read_text().strip()

@@ -1,0 +1,123 @@
+"""Differential residency parity: virtual vs threaded backends.
+
+Both execution backends charge transfers through the same
+:class:`~repro.memory.residency.RegionResidency` view, so for any region
+offload they must reach the *same elision decisions*: identical
+``bytes_moved``/``bytes_elided`` totals, identical coverage, identical
+numerics — even though the threaded backend hands chunks out racily.
+The totals are race-invariant because every row of a known array is paid
+at most once (charge + mark-valid are atomic under the ledger lock) and
+elision is proportional to rows processed, which tile the loop exactly.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import DeviceDropout, FaultPlan
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import gpu4_node
+from repro.memory.space import MapDirection
+from repro.runtime.data_env import TargetDataRegion
+from repro.runtime.runtime import HompRuntime
+
+
+def run_region_offload(executor, *, n=20_000, ndev=4, schedule="BLOCK",
+                       fault_plan=None):
+    rt = HompRuntime(gpu4_node(ndev))
+    k = make_kernel("axpy", n)
+    maps = {
+        name: (arr, MapDirection.TOFROM) for name, arr in k.arrays.items()
+    }
+    region = TargetDataRegion(
+        runtime=rt, maps=maps, partitioned=frozenset(maps)
+    )
+    with region:
+        result = region.parallel_for(
+            k, schedule=schedule, executor=executor, fault_plan=fault_plan
+        )
+    checksum = hashlib.blake2b(
+        np.ascontiguousarray(k.arrays["y"]).tobytes(), digest_size=16
+    ).hexdigest()
+    return result, checksum
+
+
+GRID = [
+    pytest.param("BLOCK", None, id="block-faultfree"),
+    pytest.param("SCHED_DYNAMIC", None, id="dynamic-faultfree"),
+    pytest.param(
+        "BLOCK",
+        FaultPlan(faults=(DeviceDropout(0, t=0.0),)),
+        id="block-dropout",
+    ),
+    pytest.param(
+        "SCHED_DYNAMIC",
+        FaultPlan(faults=(DeviceDropout(0, t=0.0),)),
+        id="dynamic-dropout",
+    ),
+]
+
+
+@pytest.mark.parametrize("schedule,plan", GRID)
+def test_backends_agree_on_elision_and_numerics(schedule, plan):
+    r_virtual, sum_v = run_region_offload(
+        "virtual", schedule=schedule, fault_plan=plan
+    )
+    r_threaded, sum_t = run_region_offload(
+        "threaded", schedule=schedule, fault_plan=plan
+    )
+    res_v = r_virtual.meta["residency"]
+    res_t = r_threaded.meta["residency"]
+    assert res_v["bytes_moved"] == res_t["bytes_moved"]
+    assert res_v["bytes_elided"] == res_t["bytes_elided"]
+    assert sum_v == sum_t  # bit-identical numerics
+    # full coverage on both backends (survivors adopt dropped work)
+    for r in (r_virtual, r_threaded):
+        chunks = sum(t.chunks for t in r.participating)
+        assert chunks > 0
+
+
+def test_dropout_invalidates_residency_and_survivors_repay():
+    """An intact region moves zero bytes; a t=0 dropout voids the lost
+    device's staged share, so survivors re-pay exactly that share."""
+    intact, _ = run_region_offload("virtual", schedule="BLOCK")
+    dropped, _ = run_region_offload(
+        "virtual",
+        schedule="BLOCK",
+        fault_plan=FaultPlan(faults=(DeviceDropout(0, t=0.0),)),
+    )
+    assert intact.meta["residency"]["bytes_moved"] == 0.0
+    moved = dropped.meta["residency"]["bytes_moved"]
+    assert moved > 0.0
+    # axpy reads x and y (block-placed 1/4 share each, 8 B rows): the lost
+    # quarter of each input is re-fetched exactly once
+    n = 20_000
+    assert moved == pytest.approx(2 * (n // 4) * 8)
+
+
+def test_dropout_emits_invalidation_metric():
+    from repro.obs.tracer import Tracer
+
+    rt = HompRuntime(gpu4_node(2))
+    k = make_kernel("axpy", 10_000)
+    maps = {
+        name: (arr, MapDirection.TOFROM) for name, arr in k.arrays.items()
+    }
+    region = TargetDataRegion(
+        runtime=rt, maps=maps, partitioned=frozenset(maps)
+    )
+    tracer = Tracer()
+    with region:
+        region.parallel_for(
+            k,
+            schedule="BLOCK",
+            tracer=tracer,
+            fault_plan=FaultPlan(faults=(DeviceDropout(0, t=0.0),)),
+        )
+    snap = tracer.metrics.snapshot()
+    rows = [
+        v for key, v in snap.get("counters", {}).items()
+        if "residency_rows_invalidated" in str(key)
+    ]
+    assert rows and sum(rows) > 0

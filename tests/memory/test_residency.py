@@ -1,0 +1,167 @@
+"""Residency ledger, placement plans, and the per-offload view."""
+
+import pytest
+
+from repro.dist.policy import Align, Auto, Block, Cyclic, Full
+from repro.errors import MappingError
+from repro.memory.residency import DataPlacementPlan, ResidencyLedger
+from repro.util.ranges import IterRange
+
+
+def r(a, b):
+    return IterRange(a, b)
+
+
+class TestLedgerRefcounts:
+    def test_retain_release_roundtrip(self):
+        led = ResidencyLedger()
+        led.register("a", 100, 8)
+        led.retain(0, "a", [r(0, 50)])
+        assert led.retained(0, "a") == [r(0, 50)]
+        unmapped, n_valid = led.release(0, "a", [r(0, 50)])
+        assert unmapped == [r(0, 50)]
+        assert n_valid == 0  # never marked valid
+        assert led.empty
+
+    def test_nested_refs_drain_outermost_only(self):
+        led = ResidencyLedger()
+        led.register("a", 100, 8)
+        led.retain(0, "a", [r(0, 100)])  # outer region
+        led.mark_valid(0, "a", [r(0, 100)])
+        led.retain(0, "a", [r(20, 60)])  # inner region, same array
+        unmapped, n_valid = led.release(0, "a", [r(20, 60)])
+        assert unmapped == []  # outer ref still holds the rows
+        assert n_valid == 0
+        assert led.valid_rows(0, "a") == [r(0, 100)]  # validity untouched
+        unmapped, n_valid = led.release(0, "a", [r(0, 100)])
+        assert unmapped == [r(0, 100)]
+        assert n_valid == 100
+        assert led.empty
+
+    def test_geometry_purged_with_last_ref_anywhere(self):
+        led = ResidencyLedger()
+        led.register("a", 10, 8)
+        led.retain(0, "a", [r(0, 5)])
+        led.retain(1, "a", [r(5, 10)])
+        led.release(0, "a", [r(0, 5)])
+        assert led.known("a")  # device 1 still maps it
+        led.release(1, "a", [r(5, 10)])
+        assert not led.known("a")
+
+    def test_over_release_rejected(self):
+        led = ResidencyLedger()
+        led.register("a", 10, 8)
+        led.retain(0, "a", [r(0, 5)])
+        with pytest.raises(MappingError):
+            led.release(0, "a", [r(0, 10)])
+
+    def test_remap_with_conflicting_geometry_rejected(self):
+        led = ResidencyLedger()
+        led.register("a", 10, 8)
+        led.retain(0, "a", [r(0, 10)])
+        led.register("a", 10, 8)  # idempotent
+        with pytest.raises(MappingError):
+            led.register("a", 20, 8)
+        with pytest.raises(MappingError):
+            led.register("a", 10, 4)
+
+
+class TestValidity:
+    def test_note_write_stales_siblings(self):
+        led = ResidencyLedger()
+        led.register("a", 100, 8)
+        for d in (0, 1):
+            led.retain(d, "a", [r(0, 100)])
+            led.mark_valid(d, "a", [r(0, 100)])
+        led.note_write(0, "a", r(40, 60))
+        assert led.valid_rows(0, "a") == [r(0, 100)]
+        assert led.valid_rows(1, "a") == [r(0, 40), r(60, 100)]
+        assert led.missing_count(1, "a", [r(0, 100)]) == 20
+        assert led.missing_everywhere([0, 1], "a", [r(0, 100)]) == 0
+
+    def test_invalidate_device_drops_all_rows_keeps_refs(self):
+        led = ResidencyLedger()
+        led.register("a", 50, 8)
+        led.register("b", 30, 4)
+        led.retain(0, "a", [r(0, 50)])
+        led.mark_valid(0, "a", [r(0, 50)])
+        led.retain(0, "b", [r(0, 30)])
+        led.mark_valid(0, "b", [r(10, 30)])
+        assert led.invalidate_device(0) == 70
+        assert led.valid_rows(0, "a") == []
+        assert led.retained(0, "a") == [r(0, 50)]  # mapping survives
+        assert led.invalidate_device(0) == 0
+
+    def test_missing_everywhere_sees_any_sibling_copy(self):
+        led = ResidencyLedger()
+        led.register("a", 100, 8)
+        led.retain(0, "a", [r(0, 50)])
+        led.retain(1, "a", [r(50, 100)])
+        led.mark_valid(0, "a", [r(0, 50)])
+        led.mark_valid(1, "a", [r(50, 100)])
+        # each device is individually missing the other's half...
+        assert led.missing_count(0, "a", [r(0, 100)]) == 50
+        # ...but no row is missing from the region as a whole
+        assert led.missing_everywhere([0, 1], "a", [r(0, 100)]) == 0
+        led.invalidate_device(1)
+        assert led.missing_everywhere([0, 1], "a", [r(0, 100)]) == 50
+
+    def test_release_counts_only_valid_unmapped_rows(self):
+        led = ResidencyLedger()
+        led.register("a", 100, 8)
+        led.retain(0, "a", [r(0, 100)])
+        led.mark_valid(0, "a", [r(0, 30)])
+        _unmapped, n_valid = led.release(0, "a", [r(0, 100)])
+        assert n_valid == 30
+
+
+class TestPlacementPlans:
+    def test_full_replicates(self):
+        plan = DataPlacementPlan.derive({"a": (12, Full())}, 3)
+        for d in range(3):
+            assert plan.ranges("a", d) == (r(0, 12),)
+
+    def test_block_splits(self):
+        plan = DataPlacementPlan.derive({"a": (10, Block())}, 3)
+        assert [plan.placed_rows("a", d) for d in range(3)] == [4, 3, 3]
+        covered = sorted(
+            i for d in range(3) for rg in plan.ranges("a", d) for i in rg
+        )
+        assert covered == list(range(10))
+
+    def test_cyclic_tiles_whole_extent(self):
+        plan = DataPlacementPlan.derive({"a": (10, Cyclic(2))}, 2)
+        covered = sorted(
+            i for d in range(2) for rg in plan.ranges("a", d) for i in rg
+        )
+        assert covered == list(range(10))
+
+    def test_align_follows_target_with_ratio(self):
+        plan = DataPlacementPlan.derive(
+            {"a": (100, Block()), "b": (50, Align("a", ratio=0.5))}, 2
+        )
+        assert plan.ranges("a", 0) == (r(0, 50),)
+        assert plan.ranges("b", 0) == (r(0, 25),)
+        assert plan.ranges("b", 1) == (r(25, 50),)
+
+    def test_align_to_loop_label_falls_back_to_block(self):
+        plan = DataPlacementPlan.derive({"a": (10, Align("loop1"))}, 2)
+        block = DataPlacementPlan.derive({"a": (10, Block())}, 2)
+        assert plan.placements["a"] == block.placements["a"]
+
+    def test_align_cycle_falls_back_to_block(self):
+        plan = DataPlacementPlan.derive(
+            {"a": (10, Align("b")), "b": (10, Align("a"))}, 2
+        )
+        block = DataPlacementPlan.derive({"a": (10, Block())}, 2)
+        assert plan.placements["a"] == block.placements["a"]
+        assert plan.placements["b"] == block.placements["a"]
+
+    def test_auto_takes_block_shape(self):
+        plan = DataPlacementPlan.derive({"a": (10, Auto())}, 2)
+        block = DataPlacementPlan.derive({"a": (10, Block())}, 2)
+        assert plan.placements["a"] == block.placements["a"]
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(MappingError):
+            DataPlacementPlan.derive({"a": (10, Full())}, 0)

@@ -107,3 +107,107 @@ def test_partitioned_arrays_stage_one_share_per_device():
     # replicating whole arrays to each device costs ~4x a block share
     # (slightly less once per-message latency is included)
     assert r_full.map_in_s > 2.5 * r_part.map_in_s
+
+
+# -- residency-ledger lifecycle ---------------------------------------------
+
+
+def test_exception_exit_skips_copy_back():
+    """A raising body tears buffers down without charging map-out."""
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    region = region_for(rt, k)
+    with pytest.raises(RuntimeError):
+        with region:
+            raise RuntimeError("body failed")
+    assert region.map_out_s == 0.0
+    assert region.map_in_s > 0.0  # staging happened before the failure
+    assert rt.ledger.empty  # buffers drained regardless
+
+
+def test_clean_exit_charges_copy_back():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    with region_for(rt, k) as region:
+        pass
+    assert region.map_out_s > 0.0
+    assert rt.ledger.empty
+
+
+def test_zero_devices_rejected_at_entry(monkeypatch):
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 1000)
+    monkeypatch.setattr(rt, "select_devices", lambda devices: [])
+    with pytest.raises(OffloadError, match="zero devices"):
+        region_for(rt, k).__enter__()
+
+
+def test_nested_regions_share_staging():
+    """An inner region mapping the same arrays stages nothing and only the
+    outermost exit drains the buffers."""
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    with region_for(rt, k) as outer:
+        with region_for(rt, k) as inner:
+            pass
+        assert inner.map_in_s == 0.0   # rows already valid on every device
+        assert inner.map_out_s == 0.0  # refs still held by the outer region
+        assert not rt.ledger.empty
+    assert outer.map_in_s > 0.0
+    assert outer.map_out_s > 0.0
+    assert rt.ledger.empty
+
+
+def test_reentered_region_repays_staging():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    region = region_for(rt, k)
+    with region:
+        first_in = region.map_in_s
+    with region:
+        second_in = region.map_in_s
+    assert first_in > 0.0
+    assert second_in == pytest.approx(first_in)  # exit drained: repay
+
+
+def test_region_meta_reports_elision():
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    with region_for(rt, k) as region:
+        result = region.parallel_for(k, schedule="BLOCK")
+    res = result.meta["residency"]
+    assert res["bytes_moved"] == 0.0  # everything staged at entry
+    assert res["bytes_elided"] > 0.0
+    outside = rt.parallel_for(make_kernel("axpy", 100_000), schedule="BLOCK")
+    assert "residency" not in outside.meta
+
+
+def test_resident_restored_when_offload_raises(monkeypatch):
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 1000)
+    with region_for(rt, k) as region:
+        def boom(*args, **kwargs):
+            raise RuntimeError("device fell over")
+        monkeypatch.setattr(k, "execute_chunk", boom)
+        with pytest.raises(RuntimeError):
+            region.parallel_for(k, schedule="BLOCK")
+    assert k.resident == frozenset()
+    assert rt.ledger.empty
+
+
+def test_partitioned_region_follows_placement_policy():
+    from repro.dist.policy import Block
+    rt = HompRuntime(gpu4_node())
+    k = make_kernel("axpy", 100_000)
+    with region_for(rt, k) as region:
+        plan = region.plan
+        for name in k.arrays:
+            covered = sorted(
+                i
+                for d in range(4)
+                for rg in plan.ranges(name, d)
+                for i in (rg.start, rg.stop)
+            )
+            assert covered[0] == 0 and covered[-1] == k.n_iters
+            # block placement: disjoint shares, one per device
+            assert len(plan.ranges(name, 0)) == 1

@@ -70,3 +70,105 @@ def test_negative_width_rejected():
 def test_device_count_mismatch_rejected():
     with pytest.raises(DistributionError):
         plan_halo_exchange(gpu4_node(), dist(100, 3), width=1, row_bytes=8)
+
+
+# -- host-shared endpoints and ledger routing --------------------------------
+
+
+def shared_discrete_node():
+    """Two host-shared CPUs + one discrete GPU."""
+    import dataclasses
+    from repro.machine.presets import k40_spec
+    from repro.machine.spec import MachineSpec
+
+    return MachineSpec(
+        name="2cpu+1gpu",
+        devices=(
+            dataclasses.replace(cpu_spec(), name="cpu-0"),
+            dataclasses.replace(cpu_spec(), name="cpu-1"),
+            k40_spec("k40-0"),
+        ),
+    )
+
+
+def test_shared_pairs_free_discrete_crossings_charged():
+    """Pin the docstring contract: host-shared endpoints exchange for free,
+    only the discrete device's two crossings (one send + one receive per
+    neighbour) cost link time."""
+    m = shared_discrete_node()
+    ex = plan_halo_exchange(m, dist(90, 3), width=1, row_bytes=1000)
+    assert len(ex.transfers) == 4  # 2 adjacent pairs x 2 directions
+    gpu_link = m[2].link
+    # cpu-0 <-> cpu-1 free; cpu-1 <-> k40 costs only the k40's crossings
+    assert ex.time_s == pytest.approx(2 * gpu_link.transfer_time(1000))
+
+
+def test_unified_endpoints_exchange_free():
+    """UNIFIED devices share host memory: their halo crossings are free
+    (page migration is charged at access time by the engine's unified
+    model, not by the exchange)."""
+    import dataclasses
+    from repro.machine.presets import k40_unified_spec
+    from repro.machine.spec import MachineSpec
+
+    m = MachineSpec(
+        name="2um",
+        devices=(
+            k40_unified_spec("um-0"),
+            dataclasses.replace(k40_unified_spec(), name="um-1"),
+        ),
+    )
+    ex = plan_halo_exchange(m, dist(100, 2), width=1, row_bytes=10_000)
+    assert ex.total_bytes > 0  # bytes logically move
+    assert ex.time_s == 0.0
+
+
+def test_ledger_elides_repeat_exchanges():
+    """First exchange pays, a repeat is fully elided, and a write on the
+    owner re-opens the bill for the written boundary."""
+    from repro.memory.residency import RegionResidency, ResidencyLedger
+
+    m = gpu4_node(2)
+    d = dist(100, 2)
+    led = ResidencyLedger()
+    led.register("u", 100, 800)
+    # each device starts valid exactly on its own block half
+    led.retain(0, "u", [IterRange(0, 50)])
+    led.retain(1, "u", [IterRange(50, 100)])
+    led.mark_valid(0, "u", [IterRange(0, 50)])
+    led.mark_valid(1, "u", [IterRange(50, 100)])
+    view = RegionResidency(led, (0, 1))
+
+    first = plan_halo_exchange(
+        m, d, width=1, row_bytes=800, residency=view, array="u"
+    )
+    assert first.total_bytes == 2 * 800
+    assert first.elided_bytes == 0
+    assert first.time_s > 0.0
+
+    second = plan_halo_exchange(
+        m, d, width=1, row_bytes=800, residency=view, array="u"
+    )
+    assert second.transfers == ()
+    assert second.elided_bytes == 2 * 800
+    assert second.time_s == 0.0
+
+    # device 0 rewrites its half: device 1's copy of row 49 goes stale
+    led.note_write(0, "u", IterRange(0, 50))
+    third = plan_halo_exchange(
+        m, d, width=1, row_bytes=800, residency=view, array="u"
+    )
+    assert third.total_bytes == 800  # only the re-written boundary repays
+    assert third.elided_bytes == 800
+
+
+def test_unknown_array_falls_back_to_flat_planning():
+    from repro.memory.residency import RegionResidency, ResidencyLedger
+
+    view = RegionResidency(ResidencyLedger(), (0, 1))
+    m = gpu4_node(2)
+    ex = plan_halo_exchange(
+        m, dist(100, 2), width=1, row_bytes=800, residency=view, array="nope"
+    )
+    assert ex.total_bytes == 2 * 800
+    assert ex.elided_bytes == 0

@@ -1,0 +1,201 @@
+"""Cells/sec of the sweep paths: serial vs process pool vs batch backend.
+
+The perf-trajectory artifact for the vectorized batch backend
+(``repro.engine.batch``): the full Fig. 5 grid (6 kernels x 7 policies on
+the 4-GPU node) is swept three ways — serial in-process, process pool,
+and the batch backend — and the measured cells/sec land in
+``benchmarks/results/batch_throughput.json``.
+
+The batch path's advantage is structural, not numerical: one
+``run_many`` call advances every cell's timeline as shared array ops,
+numerics and reference verification run once per workload instead of
+once per cell, and there is no process-pool pickle/fork overhead.  The
+results are still bit-identical to the serial sweep (pinned by
+``tests/engine/test_batch_differential.py``).  That amortization is
+also what bounds the end-to-end speedup: kernel construction and
+numeric execution dominate a bench-scale sweep, and the batch path
+pays them once per *workload* where the other paths pay once per
+*cell* — so the ceiling is roughly the number of policies per kernel.
+
+The artifact also records an engine-level ``sim_only`` section:
+prebuilt kernels, numerics off, a search-loop-style batch of static
+cells (the regime ROADMAP's service/search items care about).  Today
+the vectorized cost tensors and the per-cell event loop land within a
+few percent of each other there — the per-chunk commit replay that
+buys bit-identical accounting costs the same either way — so this is
+the baseline future vectorized-accounting work must beat.
+
+``REPRO_BENCH_SCALE`` scales the workloads as usual (unset, this module
+measures at 0.05 so the serial baseline finishes quickly); the resolved
+scale is recorded in the artifact, so numbers are only comparable at
+equal scale (and on comparable hardware — ``cpus`` is recorded too).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench.cache import SweepCache
+from repro.bench.runner import ALL_POLICIES, run_grid
+from repro.bench.workloads import BENCH_SCALE_ENV, WorkloadFactory
+from repro.engine.batch import BatchEngine, BatchRequest
+from repro.engine.simulator import OffloadEngine
+from repro.machine.presets import gpu4_node
+from repro.sched.registry import make_scheduler
+
+FIG5_KERNELS = ("axpy", "matvec", "matmul", "stencil", "sum", "bm")
+VECTORIZABLE = (
+    "BLOCK", "MODEL_1_AUTO", "MODEL_2_AUTO",
+    "SCHED_PROFILE_AUTO", "MODEL_PROFILE_AUTO",
+)
+POOL_WORKERS = 2
+
+
+def _factories():
+    return {name: WorkloadFactory(name, seed=0) for name in FIG5_KERNELS}
+
+
+def _sweep_seconds(machine, *, workers, executor):
+    """Wall seconds for one full uncached fig5 sweep."""
+    cache = SweepCache()  # fresh and memory-only under REPRO_BENCH_CACHE=off
+    t0 = time.perf_counter()
+    grid = run_grid(
+        machine, _factories(), policies=ALL_POLICIES,
+        workers=workers, cache=cache, executor=executor,
+    )
+    elapsed = time.perf_counter() - t0
+    ncells = len(grid.results) * len(grid.policies)
+    return elapsed, ncells, grid
+
+
+@pytest.fixture()
+def throughput_env(monkeypatch):
+    """Uncached measurements at a recorded scale."""
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "off")
+    if not os.environ.get(BENCH_SCALE_ENV, "").strip():
+        monkeypatch.setenv(BENCH_SCALE_ENV, "0.05")
+    yield
+
+
+def _sim_only_cells():
+    """Search-loop-style cell list: static policies x cutoff variants."""
+    cutoffs = tuple(i / 40 for i in range(20))
+    return [
+        (kname, policy, cut)
+        for kname in FIG5_KERNELS
+        for policy in VECTORIZABLE
+        for cut in cutoffs
+    ]
+
+
+def _sim_only_seconds(machine):
+    """Engine-level cells/sec: prebuilt kernels, numerics off."""
+    kernels = {name: WorkloadFactory(name, seed=0)() for name in FIG5_KERNELS}
+    cells = _sim_only_cells()
+
+    t0 = time.perf_counter()
+    for kname, policy, cut in cells:
+        eng = OffloadEngine(machine=machine, seed=0,
+                            execute_numerically=False)
+        sched = make_scheduler(policy)
+        eng.run(kernels[kname], sched,
+                cutoff_ratio=cut if sched.supports_cutoff else 0.0)
+    serial_s = time.perf_counter() - t0
+
+    requests = []
+    for kname, policy, cut in cells:
+        sched = make_scheduler(policy)
+        requests.append(BatchRequest(
+            kernels[kname], sched,
+            cutoff_ratio=cut if sched.supports_cutoff else 0.0,
+            execute_numerically=False,
+        ))
+    t0 = time.perf_counter()
+    BatchEngine(machine=machine, seed=0,
+                execute_numerically=False).run_many(requests)
+    batch_s = time.perf_counter() - t0
+    return serial_s, batch_s, len(cells)
+
+
+def test_batch_throughput(throughput_env, results_dir):
+    machine = gpu4_node()
+    # Warm the shared input pool so no mode pays generation costs.
+    for factory in _factories().values():
+        factory()
+
+    serial_s, ncells, serial_grid = _sweep_seconds(
+        machine, workers=0, executor=None
+    )
+    pool_s, _, _ = _sweep_seconds(machine, workers=POOL_WORKERS, executor=None)
+    batch_s, _, batch_grid = _sweep_seconds(machine, workers=0, executor="batch")
+
+    # The batch backend must agree with the serial sweep cell by cell.
+    for kname in serial_grid.results:
+        for policy in serial_grid.policies:
+            assert (
+                serial_grid.results[kname][policy].total_time_s
+                == batch_grid.results[kname][policy].total_time_s
+            ), (kname, policy)
+
+    sim_serial_s, sim_batch_s, sim_cells = _sim_only_seconds(machine)
+
+    report = {
+        "grid": "fig5 (gpu4_node, 6 kernels x 7 policies)",
+        "scale": os.environ[BENCH_SCALE_ENV],
+        "cells": ncells,
+        "cpus": os.cpu_count(),
+        "pool_workers": POOL_WORKERS,
+        "seconds": {
+            "serial": round(serial_s, 4),
+            "pool": round(pool_s, 4),
+            "batch": round(batch_s, 4),
+        },
+        "cells_per_sec": {
+            "serial": round(ncells / serial_s, 2),
+            "pool": round(ncells / pool_s, 2),
+            "batch": round(ncells / batch_s, 2),
+        },
+        "speedup": {
+            "batch_vs_serial": round(serial_s / batch_s, 1),
+            "batch_vs_pool": round(pool_s / batch_s, 1),
+        },
+        "sim_only": {
+            "note": (
+                "prebuilt kernels, numerics off, static policies x 20 "
+                "cutoffs; baseline for future vectorized accounting"
+            ),
+            "cells": sim_cells,
+            "cells_per_sec": {
+                "serial": round(sim_cells / sim_serial_s, 2),
+                "batch": round(sim_cells / sim_batch_s, 2),
+            },
+        },
+    }
+    (results_dir / "batch_throughput.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    print("\n" + json.dumps(report, indent=2))
+
+    # CI floor: the vectorized path must never lose to the serial one.
+    assert batch_s < serial_s, report
+
+
+def test_batch_floor_smoke(throughput_env):
+    """Cheap floor for CI: batch beats serial on a two-kernel subgrid."""
+    machine = gpu4_node()
+    ks = {name: WorkloadFactory(name, seed=0) for name in ("axpy", "sum")}
+    for factory in ks.values():
+        factory()
+    t0 = time.perf_counter()
+    run_grid(machine, ks, policies=ALL_POLICIES, workers=0,
+             cache=SweepCache())
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_grid(machine, ks, policies=ALL_POLICIES, workers=0,
+             cache=SweepCache(), executor="batch")
+    batch_s = time.perf_counter() - t0
+    assert batch_s < serial_s, (serial_s, batch_s)

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro import __version__
+from repro.engine.batch import BATCH_VERSION
 from repro.engine.core import CORE_VERSION
 from repro.memory.residency import DATA_VERSION
 from repro.engine.trace import OffloadResult
@@ -107,6 +108,9 @@ def result_key(
         # Residency-ledger semantics (elision rules, placement derivation)
         # shape in-region timings the same way: DATA_VERSION keys them.
         "data": DATA_VERSION,
+        # Batch-backend results are bit-identical to virtual ones and share
+        # their keys; any change that could perturb them bumps this.
+        "batch": BATCH_VERSION,
         "machine": machine.to_dict(),
         "workload": dict(workload_fp),
         "policy": str(policy),

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,15 +32,17 @@ from repro.kernels.base import LoopKernel
 from repro.machine.spec import MachineSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, obs_enabled
-from repro.runtime.runtime import HompRuntime
+from repro.runtime.runtime import HompRuntime, OffloadSpec
 
 __all__ = [
     "ALL_POLICIES",
     "WORKERS_ENV",
     "PolicyGrid",
+    "SerialFallbackWarning",
     "run_one",
     "run_cell",
     "run_grid",
+    "runner_metrics",
     "verify_result",
     "engine_run_count",
 ]
@@ -59,12 +62,27 @@ ALL_POLICIES = (
 )
 
 
-def verify_result(kernel: LoopKernel, result: OffloadResult, *, rtol=1e-9) -> None:
-    """Assert the distributed output matches the serial reference."""
-    ref = kernel.reference()
+def verify_result(
+    kernel: LoopKernel,
+    result: OffloadResult,
+    *,
+    rtol=1e-9,
+    ref: "dict[str, np.ndarray] | float | None" = None,
+) -> None:
+    """Assert the distributed output matches the serial reference.
+
+    ``ref`` short-circuits the (possibly expensive) serial recomputation
+    when the caller already holds ``kernel.reference()`` — the batch path
+    verifies many cells of one workload against one reference.  The
+    mapping is never mutated, so it is safe to share.
+    """
+    if ref is None:
+        ref = kernel.reference()
     if isinstance(ref, dict):
-        reduction_ref = ref.pop("__reduction__", None)
+        reduction_ref = ref.get("__reduction__")
         for name, expected in ref.items():
+            if name == "__reduction__":
+                continue
             got = kernel.arrays[name]
             if not np.allclose(got, expected, rtol=rtol, atol=1e-12):
                 raise OffloadError(
@@ -95,15 +113,59 @@ def engine_run_count() -> int:
     return _ENGINE_RUNS
 
 
-def _virtual_executor(executor: "str | type | None") -> bool:
-    """Whether ``executor`` resolves to the deterministic virtual backend.
-
-    Only virtual-time results are cacheable: wall-clock timings differ
-    run to run, so serving them from the sweep cache would be a lie.
-    """
+def _backend_name(executor: "str | type | None") -> str | None:
     if executor is None:
-        return True
-    return getattr(resolve_backend(executor), "backend_name", None) == "virtual"
+        return "virtual"
+    return getattr(resolve_backend(executor), "backend_name", None)
+
+
+def _virtual_executor(executor: "str | type | None") -> bool:
+    """Whether ``executor`` resolves to the deterministic virtual backend."""
+    return _backend_name(executor) == "virtual"
+
+
+def _cacheable_executor(executor: "str | type | None") -> bool:
+    """Whether ``executor``'s results may touch the sweep cache.
+
+    Only deterministic virtual-time results are cacheable: wall-clock
+    timings differ run to run, so serving them from the sweep cache would
+    be a lie.  The batch backend's results are bit-identical to virtual
+    ones (pinned by the differential tests), so the two share cache keys —
+    a batch sweep warms the cache for a later virtual one and vice versa.
+    """
+    return _backend_name(executor) in ("virtual", "batch")
+
+
+def _is_batch_executor(executor: "str | type | None") -> bool:
+    """Whether ``executor`` is the vectorized batch backend."""
+    return _backend_name(executor) == "batch"
+
+
+class SerialFallbackWarning(RuntimeWarning):
+    """``run_grid`` was asked to parallelise but ran its cells serially."""
+
+
+#: Process-wide counters for the grid runner (serial fallbacks, batch
+#: routing); exported so sweeps can assert they took the path they meant.
+_METRICS = MetricsRegistry()
+
+
+def runner_metrics() -> MetricsRegistry:
+    """The grid runner's process-wide metrics registry."""
+    return _METRICS
+
+
+def _note_serial_fallback(reason: str, ncells: int) -> None:
+    """A parallel sweep quietly became serial: make it visible."""
+    _METRICS.inc("run_grid_serial_fallbacks", 1.0, reason=reason)
+    warnings.warn(
+        f"run_grid: falling back to the serial in-process path for "
+        f"{ncells} cell(s) ({reason}); pass picklable factories (e.g. "
+        "WorkloadFactory) and workers>0, or executor='batch', for a "
+        "parallel sweep",
+        SerialFallbackWarning,
+        stacklevel=3,
+    )
 
 
 def run_one(
@@ -202,7 +264,7 @@ def run_cell(
             cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
             fault_plan=fault_plan, resilience=resilience,
         )
-        if cache.enabled and _virtual_executor(executor)
+        if cache.enabled and _cacheable_executor(executor)
         else None
     )
     if key is not None:
@@ -331,6 +393,7 @@ def run_grid(
     unchanged.  Tracing forces the serial in-process path (``workers`` is
     ignored).
     """
+    workers_explicit = workers is not None
     workers = _default_workers() if workers is None else max(0, int(workers))
     cache = get_cache() if cache is None else cache
     grid = PolicyGrid(machine_name=machine.name, policies=tuple(policies))
@@ -347,7 +410,7 @@ def run_grid(
                     cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
                     fault_plan=fault_plan, resilience=resilience,
                 )
-                if cache.enabled and _virtual_executor(executor)
+                if cache.enabled and _cacheable_executor(executor)
                 else None
             )
             hit = (
@@ -364,7 +427,28 @@ def run_grid(
             cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
             fault_plan=fault_plan, resilience=resilience, executor=executor,
         )
-    elif workers > 0 and pending and _cells_picklable(machine, pending):
+    elif (
+        _is_batch_executor(executor) and pending
+        and fault_plan is None and resilience is None
+    ):
+        _run_batch_cells(
+            machine, pending, results, cache,
+            cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+            executor=executor,
+        )
+    elif workers > 0 and pending and not _cells_picklable(machine, pending):
+        _note_serial_fallback("unpicklable cells", len(pending))
+        for kname, factory, policy, key in pending:
+            result = run_one(
+                machine, factory(), policy,
+                cutoff_ratio=cutoff_ratio, seed=seed, verify=verify,
+                fault_plan=fault_plan, resilience=resilience,
+                executor=executor,
+            )
+            if key is not None:
+                cache.put(key, result)
+            results[(kname, policy)] = result
+    elif workers > 0 and pending:
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_pin_worker_threads
         ) as pool:
@@ -381,6 +465,10 @@ def run_grid(
                     cache.put(key, result)
                 results[(kname, policy)] = result
     else:
+        if not workers_explicit and len(pending) > 1:
+            # Serial because nobody asked for workers: an accidental
+            # serial sweep looks exactly like a perf regression later.
+            _note_serial_fallback("workers=0", len(pending))
         for kname, factory, policy, key in pending:
             result = run_one(
                 machine, factory(), policy,
@@ -395,6 +483,75 @@ def run_grid(
     for kname in kernels:
         grid.results[kname] = {p: results[(kname, p)] for p in grid.policies}
     return grid
+
+
+def _run_batch_cells(
+    machine: MachineSpec,
+    pending: list,
+    results: dict,
+    cache: SweepCache,
+    *,
+    cutoff_ratio: float,
+    seed: int,
+    verify: bool,
+    executor: "str | type | None",
+) -> None:
+    """Run pending grid cells through the vectorized batch backend.
+
+    The whole pending list becomes one ``parallel_for_many`` call, so the
+    backend advances every cell's timeline together as array ops.  Cells
+    of the same factory share one kernel instance: the simulated timeline
+    depends only on chunk sizes, so the (expensive) numeric execution and
+    reference verification run once per workload, not once per cell —
+    subsequent cells skip numerics and produce bit-identical results
+    (their arrays are untouched and their reduction is None either way).
+    Reduction kernels execute every cell (each result carries the
+    reduction value); a reduction kernel that also wrote output arrays
+    would double-apply them on a shared instance, so those get a fresh
+    kernel per cell.
+    """
+    global _ENGINE_RUNS
+    _METRICS.inc("run_grid_batch_cells", float(len(pending)))
+    rt = HompRuntime(machine, seed=seed)
+    shared: dict[int, LoopKernel] = {}
+    refs: dict[int, "dict[str, np.ndarray] | float"] = {}
+    specs: list[OffloadSpec] = []
+    executed: list[bool] = []
+    for kname, factory, policy, key in pending:
+        fid = id(factory)
+        kernel = shared.get(fid)
+        fresh = kernel is None
+        if fresh:
+            kernel = factory()
+            shared[fid] = kernel
+        if kernel.is_reduction:
+            if any(m.direction.copies_out for m in kernel.effective_maps()):
+                if not fresh:
+                    kernel = factory()
+            execute = True
+        else:
+            execute = fresh
+        specs.append(
+            OffloadSpec(
+                kernel=kernel, schedule=policy,
+                cutoff_ratio=cutoff_ratio, execute_numerically=execute,
+            )
+        )
+        executed.append(execute)
+    batch = rt.parallel_for_many(specs, executor=executor)
+    for (kname, factory, policy, key), spec, execute, result in zip(
+        pending, specs, executed, batch
+    ):
+        _ENGINE_RUNS += 1
+        if verify and execute:
+            fid = id(factory)
+            ref = refs.get(fid)
+            if ref is None:
+                ref = refs[fid] = spec.kernel.reference()
+            verify_result(spec.kernel, result, ref=ref)
+        if key is not None:
+            cache.put(key, result)
+        results[(kname, policy)] = result
 
 
 def _run_traced_cells(

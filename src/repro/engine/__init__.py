@@ -15,6 +15,11 @@ scheduling of events in time and register themselves by name:
 * ``"threaded"`` — :class:`~repro.engine.threaded.ThreadedEngine` runs
   one real host thread per device on a wall clock, with the same
   fault/resilience semantics.
+* ``"batch"`` — :class:`~repro.engine.batch.BatchEngine` advances whole
+  grids of cells at once as numpy array ops over a
+  ``(cells x devices x chunks)`` cost tensor, bit-identical to
+  ``"virtual"`` for the static scheduler families and falling back to it
+  per cell for everything timing-dependent.
 
 Select a backend with ``HompRuntime.parallel_for(executor=...)`` or
 build one directly via :func:`~repro.engine.core.make_backend`.
@@ -36,6 +41,7 @@ from repro.engine.core import (
 # Importing the backend modules registers them.
 from repro.engine.simulator import OffloadEngine
 from repro.engine.threaded import ThreadedEngine
+from repro.engine.batch import BATCH_VERSION, BatchEngine, BatchRequest
 from repro.engine.events import ChunkEvent, Timeline, render_timeline
 
 __all__ = [
@@ -53,6 +59,9 @@ __all__ = [
     "make_backend",
     "OffloadEngine",
     "ThreadedEngine",
+    "BatchEngine",
+    "BatchRequest",
+    "BATCH_VERSION",
     "ChunkEvent",
     "Timeline",
     "render_timeline",

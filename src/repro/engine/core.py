@@ -1000,12 +1000,24 @@ def register_backend(name: str, cls: type, *, aliases: tuple[str, ...] = ()) -> 
 
     Canonical names are what :func:`backend_names` lists; aliases resolve
     to them.  Re-registering a name replaces it (latest wins), so test
-    doubles can shadow the real backends.
+    doubles can shadow the real backends — and any alias previously
+    pointing elsewhere under that name is dropped, so the canonical
+    registration wins.  An alias that would shadow a *different* canonical
+    name is rejected: silently rerouting ``"virtual"`` to another backend
+    is never what a caller wants.
     """
     key = name.strip().lower()
+    alias_keys = [alias.strip().lower() for alias in aliases]
+    for akey in alias_keys:
+        if akey in _BACKENDS and akey != key:
+            raise OffloadError(
+                f"backend alias {akey!r} (for {name!r}) collides with the "
+                f"registered backend name {akey!r}"
+            )
     _BACKENDS[key] = cls
-    for alias in aliases:
-        _ALIASES[alias.strip().lower()] = key
+    _ALIASES.pop(key, None)
+    for akey in alias_keys:
+        _ALIASES[akey] = key
     return cls
 
 
@@ -1022,9 +1034,13 @@ def resolve_backend(spec: "str | type | ExecutionBackend") -> type:
         try:
             return _BACKENDS[key]
         except KeyError:
+            aliases = ", ".join(
+                f"{a}->{c}" for a, c in sorted(_ALIASES.items())
+            )
             raise OffloadError(
                 f"unknown execution backend {spec!r}; registered: "
                 f"{', '.join(backend_names())}"
+                + (f"; aliases: {aliases}" if aliases else "")
             ) from None
     if isinstance(spec, type):
         return spec

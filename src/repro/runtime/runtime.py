@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dist.policy import Align, Auto, Policy
+from repro.engine.batch import BatchRequest
 from repro.engine.core import make_backend
 from repro.engine.simulator import OffloadEngine
 from repro.engine.threaded import ThreadedEngine  # noqa: F401 — registers "threaded"
@@ -37,7 +38,22 @@ from repro.runtime.offload_info import OffloadInfo
 from repro.sched.registry import make_scheduler
 from repro.sched.selector import select_algorithm
 
-__all__ = ["HompRuntime"]
+__all__ = ["HompRuntime", "OffloadSpec"]
+
+
+@dataclass
+class OffloadSpec:
+    """One cell of a :meth:`HompRuntime.parallel_for_many` batch.
+
+    ``execute_numerically`` overrides the runtime-level flag per cell
+    (None = inherit) — the sweep runner executes numerics once per shared
+    kernel instance and skips them for the timing-only repeats.
+    """
+
+    kernel: LoopKernel
+    schedule: object = "AUTO"
+    cutoff_ratio: float | str = 0.0
+    execute_numerically: bool | None = None
 
 
 @dataclass
@@ -203,6 +219,93 @@ class HompRuntime:
         if record_events:
             result.meta["timeline"] = engine.timeline
         return result
+
+    def parallel_for_many(
+        self,
+        specs: "list[OffloadSpec]",
+        *,
+        devices=None,
+        serialize_offload: bool = False,
+        executor: "str | type | None" = None,
+    ) -> list[OffloadResult]:
+        """Offload a batch of independent loops through one backend.
+
+        The batch form of :meth:`parallel_for`: every cell runs on the
+        same device selection with the same engine configuration.  When
+        the backend implements ``run_many`` (the ``"batch"`` backend), the
+        whole list is handed over in one call so cells advance together as
+        array ops; otherwise cells run through ``run`` one by one.  Either
+        way, results are positionally aligned with ``specs`` and carry the
+        same ``meta`` a :meth:`parallel_for` result would.
+        """
+        ids = self.select_devices(devices)
+        submachine = self.machine.subset(ids)
+        engine = make_backend(
+            executor if executor is not None else OffloadEngine,
+            submachine,
+            seed=self.seed,
+            execute_numerically=self.execute_numerically,
+            record_events=False,
+            serialize_offload=serialize_offload,
+        )
+        requests: list[BatchRequest] = []
+        infos: list[OffloadInfo] = []
+        for spec in specs:
+            scheduler = self._resolve_scheduler(
+                spec.schedule, spec.kernel, submachine, {}
+            )
+            if spec.cutoff_ratio == "auto":
+                ratio = default_cutoff_ratio(self.effective_device_count(ids))
+            else:
+                ratio = float(spec.cutoff_ratio)
+            if ratio > 0.0 and not scheduler.supports_cutoff:
+                ratio = 0.0
+            requests.append(
+                BatchRequest(
+                    kernel=spec.kernel,
+                    scheduler=scheduler,
+                    cutoff_ratio=ratio,
+                    execute_numerically=spec.execute_numerically,
+                )
+            )
+            infos.append(
+                OffloadInfo.build(
+                    spec.kernel,
+                    scheduler,
+                    self.machine,
+                    ids,
+                    cutoff_ratio=ratio,
+                    serialize_offload=serialize_offload,
+                )
+            )
+        if hasattr(engine, "run_many"):
+            results = engine.run_many(requests)
+        else:
+            results = []
+            for req in requests:
+                eng = engine
+                if (
+                    req.execute_numerically is not None
+                    and req.execute_numerically != self.execute_numerically
+                ):
+                    eng = make_backend(
+                        executor if executor is not None else OffloadEngine,
+                        submachine,
+                        seed=self.seed,
+                        execute_numerically=req.execute_numerically,
+                        record_events=False,
+                        serialize_offload=serialize_offload,
+                    )
+                results.append(
+                    eng.run(
+                        req.kernel, req.scheduler,
+                        cutoff_ratio=req.cutoff_ratio,
+                    )
+                )
+        for result, info in zip(results, infos):
+            result.meta["device_ids"] = list(ids)
+            result.meta["offload_info"] = info
+        return results
 
     def target_data(
         self,

@@ -121,6 +121,9 @@ class HistoryScheduler(LoopScheduler):
     notation = "HISTORY_AUTO"
     stages = 1
     supports_cutoff = True
+    #: The split is fixed in start(); observe() only feeds the database,
+    #: and the batch backend replays observes in exact commit order.
+    batch_vectorizable = True
 
     def __init__(self, db: HistoryDB):
         super().__init__()

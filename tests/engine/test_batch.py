@@ -1,0 +1,200 @@
+"""Unit tests for the vectorized batch backend (`repro.engine.batch`).
+
+Bit-identity with the virtual-time simulator over whole grids lives in
+``test_batch_differential.py``; this file pins the backend's own
+machinery — request routing, the per-cell fallback triggers, the
+execute-numerically override, and introspection parity.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine.batch import BatchEngine, BatchRequest
+from repro.engine.core import make_backend
+from repro.engine.simulator import OffloadEngine
+from repro.faults.plan import FaultPlan, Slowdown
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import (
+    cpu_spec,
+    full_node,
+    gpu4_node,
+    homogeneous_node,
+)
+from repro.obs.tracer import Tracer
+from repro.sched.registry import make_scheduler
+
+N = 20_000
+
+
+def virtual_result(policy, kname="axpy", *, machine=None, n=N, **opts):
+    machine = gpu4_node() if machine is None else machine
+    eng = OffloadEngine(machine=machine, seed=0, **opts)
+    return eng.run(make_kernel(kname, n, seed=1), make_scheduler(policy))
+
+
+def batch_result(policy, kname="axpy", *, machine=None, n=N, **opts):
+    machine = gpu4_node() if machine is None else machine
+    eng = BatchEngine(machine=machine, seed=0, **opts)
+    return eng.run(make_kernel(kname, n, seed=1), make_scheduler(policy))
+
+
+class TestSingleCell:
+    def test_static_policy_bit_identical(self):
+        r_v = virtual_result("BLOCK")
+        r_b = batch_result("BLOCK")
+        assert pickle.dumps(r_v) == pickle.dumps(r_b)
+
+    def test_dynamic_policy_falls_back_transparently(self):
+        # SCHED_DYNAMIC is timing-driven: the batch backend must delegate
+        # to the simulator and return its exact result.
+        r_v = virtual_result("SCHED_DYNAMIC")
+        r_b = batch_result("SCHED_DYNAMIC")
+        assert pickle.dumps(r_v) == pickle.dumps(r_b)
+
+    def test_make_backend_builds_batch_engine(self):
+        eng = make_backend("batch", gpu4_node(), seed=0)
+        assert isinstance(eng, BatchEngine)
+        r = eng.run(make_kernel("axpy", N, seed=1), make_scheduler("BLOCK"))
+        assert pickle.dumps(r) == pickle.dumps(virtual_result("BLOCK"))
+
+    def test_chunk_log_matches_virtual(self):
+        m = gpu4_node()
+        kern = make_kernel("axpy", N, seed=1)
+        e_v = OffloadEngine(machine=m, seed=0, collect_chunks=True)
+        e_b = BatchEngine(machine=m, seed=0, collect_chunks=True)
+        e_v.run(kern, make_scheduler("MODEL_2_AUTO"))
+        e_b.run(kern, make_scheduler("MODEL_2_AUTO"))
+        assert e_b.chunk_log == e_v.chunk_log
+
+    def test_record_events_matches_virtual(self):
+        kw = dict(machine=gpu4_node(), seed=0, record_events=True)
+        kern = make_kernel("axpy", N, seed=1)
+        e_v = OffloadEngine(**kw)
+        e_b = BatchEngine(**kw)
+        e_v.run(kern, make_scheduler("MODEL_PROFILE_AUTO"))
+        e_b.run(kern, make_scheduler("MODEL_PROFILE_AUTO"))
+        assert e_b.timeline.events == e_v.timeline.events
+
+
+class TestRunMany:
+    def test_results_positionally_aligned(self):
+        m = gpu4_node()
+        reqs = [
+            BatchRequest(make_kernel("axpy", N, seed=1), make_scheduler(p))
+            for p in ("BLOCK", "MODEL_1_AUTO", "SCHED_DYNAMIC", "BLOCK")
+        ]
+        results = BatchEngine(machine=m, seed=0).run_many(reqs)
+        for req, r in zip(reqs, results):
+            single = OffloadEngine(machine=m, seed=0).run(
+                make_kernel("axpy", N, seed=1),
+                make_scheduler(req.scheduler.notation),
+            )
+            assert r.algorithm == single.algorithm
+            assert pickle.dumps(r) == pickle.dumps(single)
+
+    def test_mixed_batch_shares_wave_rounds(self):
+        # Different kernels and cutoffs in one run_many call still match
+        # their individually-simulated selves.
+        m = full_node()
+        reqs = [
+            BatchRequest(
+                make_kernel("axpy", N, seed=1),
+                make_scheduler("MODEL_2_AUTO"), cutoff_ratio=0.1,
+            ),
+            BatchRequest(
+                make_kernel("sum", N, seed=1),
+                make_scheduler("SCHED_PROFILE_AUTO"),
+            ),
+            BatchRequest(
+                make_kernel("stencil", 1_000, seed=1),
+                make_scheduler("BLOCK"),
+            ),
+        ]
+        results = BatchEngine(machine=m, seed=0).run_many(reqs)
+        singles = [
+            OffloadEngine(machine=m, seed=0).run(
+                make_kernel("axpy", N, seed=1),
+                make_scheduler("MODEL_2_AUTO"), cutoff_ratio=0.1,
+            ),
+            OffloadEngine(machine=m, seed=0).run(
+                make_kernel("sum", N, seed=1),
+                make_scheduler("SCHED_PROFILE_AUTO"),
+            ),
+            OffloadEngine(machine=m, seed=0).run(
+                make_kernel("stencil", 1_000, seed=1),
+                make_scheduler("BLOCK"),
+            ),
+        ]
+        for got, want in zip(results, singles):
+            assert pickle.dumps(got) == pickle.dumps(want)
+
+    def test_execute_numerically_override_per_cell(self):
+        m = gpu4_node()
+        k1 = make_kernel("axpy", N, seed=1)
+        k2 = make_kernel("sum", N, seed=1)
+        reqs = [
+            BatchRequest(k1, make_scheduler("BLOCK"),
+                         execute_numerically=False),
+            BatchRequest(k2, make_scheduler("BLOCK")),
+        ]
+        r1, r2 = BatchEngine(machine=m, seed=0).run_many(reqs)
+        # Skipped numerics leave the arrays untouched...
+        assert (k1.arrays["y"] == k1._initial["y"]).all()
+        # ...but produce the exact result bytes of an executed cell,
+        # because nothing numeric enters a non-reduction OffloadResult.
+        assert pickle.dumps(r1) == pickle.dumps(virtual_result("BLOCK"))
+        # The inheriting cell executed: the reduction value is present.
+        assert r2.reduction is not None
+
+
+class TestFallbackTriggers:
+    def test_active_fault_plan_falls_back(self):
+        plan = FaultPlan.of(Slowdown(0, 3.0))
+        m = homogeneous_node(4, cpu_spec())
+        kw = dict(machine=m, seed=0, fault_plan=plan)
+        r_v = OffloadEngine(**kw).run(
+            make_kernel("sum", N, seed=1), make_scheduler("BLOCK")
+        )
+        r_b = BatchEngine(**kw).run(
+            make_kernel("sum", N, seed=1), make_scheduler("BLOCK")
+        )
+        assert pickle.dumps(r_v) == pickle.dumps(r_b)
+        # The plan was live on both paths (faults meta only exists then).
+        assert "faults" in r_v.meta and "faults" in r_b.meta
+
+    def test_empty_fault_plan_stays_vectorized(self):
+        # An empty plan is fault-free: no reason to leave the tensor path.
+        eng = BatchEngine(machine=gpu4_node(), seed=0, fault_plan=FaultPlan())
+        assert eng._engine_vectorizable()
+
+    def test_tracer_falls_back_and_emits_spans(self):
+        tracer = Tracer()
+        r_b = BatchEngine(machine=gpu4_node(), seed=0, tracer=tracer).run(
+            make_kernel("axpy", N, seed=1), make_scheduler("BLOCK")
+        )
+        assert pickle.dumps(r_b) == pickle.dumps(virtual_result("BLOCK"))
+        assert len(tracer.spans) > 0
+
+    def test_noisy_devices_fall_back(self):
+        m = gpu4_node(noise=0.05)
+        kw = dict(machine=m, seed=0)
+        kern = make_kernel("axpy", N, seed=1)
+        r_v = OffloadEngine(**kw).run(kern, make_scheduler("BLOCK"))
+        r_b = BatchEngine(**kw).run(kern, make_scheduler("BLOCK"))
+        assert pickle.dumps(r_v) == pickle.dumps(r_b)
+
+    def test_fallback_engine_exposes_chunk_log(self):
+        eng = BatchEngine(machine=gpu4_node(), seed=0, collect_chunks=True)
+        eng.run(make_kernel("axpy", N, seed=1),
+                make_scheduler("SCHED_DYNAMIC"))
+        assert len(eng.chunk_log) > 0
+
+
+@pytest.mark.parametrize("policy", ["BLOCK", "MODEL_2_AUTO"])
+def test_serialized_offload_bit_identical(policy):
+    kw = dict(machine=gpu4_node(), seed=0, serialize_offload=True)
+    kern = make_kernel("axpy", N, seed=1)
+    r_v = OffloadEngine(**kw).run(kern, make_scheduler(policy))
+    r_b = BatchEngine(**kw).run(kern, make_scheduler(policy))
+    assert pickle.dumps(r_v) == pickle.dumps(r_b)

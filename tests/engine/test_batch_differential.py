@@ -1,0 +1,157 @@
+"""Differential tests: the batch backend vs the virtual-time simulator.
+
+The batch backend's contract is *bit-identity*: every ``OffloadResult`` it
+returns — vectorized or fallen back — must pickle to exactly the bytes the
+``virtual`` backend produces for the same cell.  That is pinned here three
+ways: the backend x (scheduler, kernel) invariant grid from
+``test_differential.py``, whole fig5/fig9 grids through ``run_grid``, and
+the faulted/traced cells that exercise the transparent fallback path.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.cache import reset_cache
+from repro.bench.runner import ALL_POLICIES, run_grid, run_one
+from repro.bench.workloads import WorkloadFactory
+from repro.engine.core import make_backend
+from repro.faults.plan import FaultPlan, Slowdown, TransferError
+from repro.faults.policy import ResiliencePolicy, RetryPolicy
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import full_node, gpu4_node
+from repro.obs.tracer import Tracer
+from repro.sched.registry import make_scheduler
+
+from tests.engine.test_differential import check_invariants
+
+BACKENDS = ("virtual", "batch")
+GRID = [
+    ("BLOCK", "axpy"),
+    ("BLOCK", "sum"),
+    ("MODEL_1_AUTO", "axpy"),
+    ("MODEL_2_AUTO", "matvec"),
+    ("MODEL_PROFILE_AUTO", "sum"),
+    ("SCHED_PROFILE_AUTO", "axpy"),
+    ("SCHED_DYNAMIC", "axpy"),   # timing-driven: exercises the fallback
+    ("SCHED_GUIDED", "sum"),
+]
+N = 60_000
+SIZES = {"matvec": 2_000}
+
+
+def run(backend, policy, kname, *, machine=None, **opts):
+    machine = gpu4_node() if machine is None else machine
+    n = SIZES.get(kname, N)
+    eng = make_backend(backend, machine, seed=0, collect_chunks=True, **opts)
+    kernel = make_kernel(kname, n, seed=7)
+    result = eng.run(kernel, make_scheduler(policy))
+    return kernel, result, eng
+
+
+@pytest.mark.parametrize("policy,kname", GRID, ids=[f"{p}-{k}" for p, k in GRID])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_invariants_hold_per_backend(backend, policy, kname):
+    kernel, result, eng = run(backend, policy, kname)
+    check_invariants(kernel, result, eng)
+
+
+@pytest.mark.parametrize("policy,kname", GRID, ids=[f"{p}-{k}" for p, k in GRID])
+def test_batch_bit_identical_to_virtual(policy, kname):
+    _, r_v, e_v = run("virtual", policy, kname)
+    _, r_b, e_b = run("batch", policy, kname)
+    assert pickle.dumps(r_v) == pickle.dumps(r_b)
+    assert e_b.chunk_log == e_v.chunk_log
+
+
+# ------------------------------------------------- whole-figure grids
+
+
+@pytest.fixture()
+def tiny_grid_env(monkeypatch):
+    """Small workloads, no cache: every cell really runs on both backends."""
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "off")
+    reset_cache()
+    yield
+    reset_cache()
+
+
+#: The figure kernels (fig5/fig9 sweep all six over the seven policies).
+FIG_KERNELS = ("axpy", "matvec", "matmul", "stencil", "sum", "bm")
+
+
+@pytest.mark.parametrize(
+    "machine_factory", [gpu4_node, full_node], ids=["fig5-gpu4", "fig9-full"]
+)
+def test_full_figure_grid_bit_identical(machine_factory, tiny_grid_env):
+    machine = machine_factory()
+    ks = {name: WorkloadFactory(name, seed=0) for name in FIG_KERNELS}
+    g_v = run_grid(machine, ks, policies=ALL_POLICIES)
+    g_b = run_grid(machine, ks, policies=ALL_POLICIES, executor="batch")
+    for kname in ks:
+        for policy in ALL_POLICIES:
+            assert pickle.dumps(g_v.results[kname][policy]) == pickle.dumps(
+                g_b.results[kname][policy]
+            ), f"{machine.name}/{kname}/{policy} diverged"
+
+
+def test_batch_grid_warms_the_shared_cache(monkeypatch):
+    # Batch results are bit-identical to virtual ones, so the two
+    # executors share sweep-cache keys: a batch sweep serves a later
+    # virtual sweep entirely from memory.
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "mem")
+    reset_cache()
+    try:
+        from repro.bench.cache import get_cache
+
+        machine = gpu4_node()
+        ks = {"axpy": WorkloadFactory("axpy", seed=0)}
+        run_grid(machine, ks, policies=("BLOCK", "MODEL_2_AUTO"),
+                 executor="batch")
+        before = get_cache().stats.puts
+        assert before == 2
+        run_grid(machine, ks, policies=("BLOCK", "MODEL_2_AUTO"))
+        assert get_cache().stats.mem_hits == 2
+        assert get_cache().stats.puts == before
+    finally:
+        reset_cache()
+
+
+# ------------------------------------------------- fallback pins
+
+
+def test_faulted_cell_matches_virtual():
+    # A live fault plan disables vectorization; the cell must still come
+    # back byte-for-byte equal to the virtual backend's faulted run.
+    plan = FaultPlan.of(
+        Slowdown(0, 2.0), TransferError(1, 0.3, seed=11),
+    )
+    res = ResiliencePolicy(retry=RetryPolicy(max_retries=3, backoff_s=1e-5))
+    results = {}
+    for backend in BACKENDS:
+        r = run_one(
+            gpu4_node(), make_kernel("sum", N, seed=3), "SCHED_DYNAMIC",
+            fault_plan=plan, resilience=res, executor=backend,
+        )
+        results[backend] = r
+    assert pickle.dumps(results["virtual"]) == pickle.dumps(results["batch"])
+    assert "faults" in results["batch"].meta
+
+
+def test_traced_cell_matches_virtual_and_emits_spans():
+    # A tracer expects spans at event-loop call sites, so traced cells
+    # fall back — results identical, spans present on both backends.
+    spans = {}
+    results = {}
+    for backend in BACKENDS:
+        tracer = Tracer()
+        r = run_one(
+            gpu4_node(), make_kernel("axpy", N, seed=3), "MODEL_2_AUTO",
+            tracer=tracer, executor=backend,
+        )
+        results[backend] = r
+        spans[backend] = tracer.spans
+    assert pickle.dumps(results["virtual"]) == pickle.dumps(results["batch"])
+    assert len(spans["batch"]) == len(spans["virtual"]) > 0

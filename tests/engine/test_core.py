@@ -119,6 +119,54 @@ class TestRegistry:
             )
         assert resolve_backend("virtual") is OffloadEngine
 
+    def test_batch_backend_registered_with_aliases(self):
+        from repro.engine.batch import BatchEngine
+
+        assert "batch" in backend_names()
+        assert resolve_backend("batch") is BatchEngine
+        assert resolve_backend("vectorized") is BatchEngine
+        assert resolve_backend("vec") is BatchEngine
+
+    def test_unknown_name_error_lists_names_and_aliases(self):
+        with pytest.raises(OffloadError) as exc:
+            resolve_backend("gpu-direct")
+        msg = str(exc.value)
+        for name in backend_names():
+            assert name in msg
+        # Aliases are listed with the canonical name they resolve to.
+        assert "sim->virtual" in msg
+        assert "vec->batch" in msg
+
+    def test_alias_colliding_with_canonical_name_rejected(self):
+        class Fake(OffloadEngine):
+            pass
+
+        with pytest.raises(OffloadError, match="collides"):
+            register_backend("fake-backend", Fake, aliases=("virtual",))
+        # The rejected registration must not have rerouted anything.
+        assert resolve_backend("virtual") is OffloadEngine
+
+    def test_canonical_registration_drops_stale_alias(self):
+        class A(OffloadEngine):
+            pass
+
+        class B(OffloadEngine):
+            pass
+
+        try:
+            register_backend("primary-x", A, aliases=("shadow-x",))
+            assert resolve_backend("shadow-x") is A
+            # Promoting the alias to a canonical name wins over the alias.
+            register_backend("shadow-x", B)
+            assert resolve_backend("shadow-x") is B
+            assert resolve_backend("primary-x") is A
+        finally:
+            from repro.engine.core import _ALIASES, _BACKENDS
+
+            _BACKENDS.pop("primary-x", None)
+            _BACKENDS.pop("shadow-x", None)
+            _ALIASES.pop("shadow-x", None)
+
 
 class TestMakeBackend:
     def test_builds_virtual_with_its_options(self):

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields
 from enum import Enum
 from typing import Any, Callable, ClassVar, Protocol, runtime_checkable
@@ -934,6 +935,58 @@ class EngineBase:
     # Deliberately *not* annotated: subclasses are dataclasses, and an
     # annotated class attribute here would become their first field.
     _run_ctx = None
+
+    @property
+    def busy(self) -> bool:
+        """Whether a ``run()`` is currently in flight on this engine."""
+        lock = self.__dict__.get("_run_gate")
+        return lock is not None and lock.locked()
+
+    @contextmanager
+    def configured(self, **options: Any):
+        """Temporarily override engine fields for one leased run.
+
+        The pool-safety hook behind engine reuse (:mod:`repro.service`):
+        a pooled engine is built once with its base configuration, and the
+        exclusive lease holder overrides per-job knobs (seed, fault plan,
+        tracer, ...) for the duration of the ``with`` block; every
+        override is restored on exit, success or raise.  Option semantics
+        mirror :func:`make_backend`: an option the backend has no field
+        for is dropped when falsy and rejected when set, and ``machine``
+        can never be overridden (engines are bound to one machine).
+
+        Requires exclusive ownership — entering while a run is in flight
+        raises :class:`~repro.errors.EngineBusyError` (best effort; the
+        ``run()`` gate stays the authoritative guard).
+        """
+        if self.busy:
+            raise EngineBusyError(
+                f"{type(self).__name__} instance is mid-run; configure a "
+                "pooled engine only while holding its exclusive lease"
+            )
+        names = {f.name for f in dataclass_fields(self)}
+        saved: dict[str, Any] = {}
+        try:
+            for key, value in options.items():
+                if key == "machine":
+                    raise OffloadError(
+                        "configured() cannot rebind an engine's machine; "
+                        "pool one engine per machine instead"
+                    )
+                if key not in names:
+                    if value:  # a meaningful option this backend lacks
+                        raise OffloadError(
+                            f"execution backend "
+                            f"{getattr(self, 'backend_name', type(self).__name__)!r}"
+                            f" does not support option {key}={value!r}"
+                        )
+                    continue
+                saved[key] = getattr(self, key)
+                setattr(self, key, value)
+            yield self
+        finally:
+            for key, value in saved.items():
+                setattr(self, key, value)
 
     def _begin_run(self, core: RunContext) -> None:
         lock = self.__dict__.get("_run_gate")

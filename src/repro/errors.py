@@ -21,6 +21,10 @@ __all__ = [
     "EngineBusyError",
     "FaultPlanError",
     "FaultError",
+    "ServiceError",
+    "JobSpecError",
+    "AdmissionError",
+    "ServiceClosedError",
 ]
 
 
@@ -87,3 +91,40 @@ class FaultPlanError(HompError, ValueError):
 class FaultError(OffloadError):
     """Injected faults made the offload unrecoverable (e.g. every device
     was lost while iterations remained)."""
+
+
+class ServiceError(HompError):
+    """Base class for errors raised by the offload service (:mod:`repro.service`)."""
+
+
+class JobSpecError(ServiceError, ValueError):
+    """An :class:`~repro.service.OffloadJob` is malformed (bad factory,
+    machine, cutoff, ...) and was rejected before admission."""
+
+
+class AdmissionError(ServiceError):
+    """A job submission exceeded its tenant's quota.
+
+    ``retry_after_s`` is the service's Retry-After-style hint: the number
+    of seconds after which a resubmission has a chance of being admitted
+    (exact for token-bucket rate rejections, heuristic for in-flight and
+    queue-capacity rejections).  ``reason`` is a stable machine-readable
+    label: ``"rate"``, ``"in_flight"`` or ``"queue_full"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str = "",
+        reason: str = "",
+        retry_after_s: float = 0.0,
+    ):
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(message)
+
+
+class ServiceClosedError(ServiceError):
+    """A job was submitted to a service that is not running."""

@@ -16,6 +16,7 @@ to bypass the pool entirely (every call then runs its generator directly).
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable
 
@@ -37,6 +38,9 @@ _MAX_ENTRIES = 32
 _BASE: "OrderedDict[Hashable, dict[str, np.ndarray]]" = OrderedDict()
 _HITS = 0
 _MISSES = 0
+#: Service worker threads build kernels concurrently; the lock keeps the
+#: LRU bookkeeping coherent and each base generated exactly once per key.
+_LOCK = threading.Lock()
 
 
 def pool_enabled() -> bool:
@@ -62,19 +66,20 @@ def pooled_inputs(
     global _HITS, _MISSES
     if not pool_enabled():
         return make()
-    base = _BASE.get(key)
-    if base is None:
-        _MISSES += 1
-        base = make()
-        for arr in base.values():
-            arr.setflags(write=False)
-        _BASE[key] = base
-        while len(_BASE) > _MAX_ENTRIES:
-            _BASE.popitem(last=False)
-    else:
-        _HITS += 1
-        _BASE.move_to_end(key)
-    return {name: arr.copy() for name, arr in base.items()}
+    with _LOCK:
+        base = _BASE.get(key)
+        if base is None:
+            _MISSES += 1
+            base = make()
+            for arr in base.values():
+                arr.setflags(write=False)
+            _BASE[key] = base
+            while len(_BASE) > _MAX_ENTRIES:
+                _BASE.popitem(last=False)
+        else:
+            _HITS += 1
+            _BASE.move_to_end(key)
+        return {name: arr.copy() for name, arr in base.items()}
 
 
 def pool_stats() -> dict[str, int]:
@@ -85,6 +90,7 @@ def pool_stats() -> dict[str, int]:
 def clear_pool() -> None:
     """Drop all cached bases and reset counters."""
     global _HITS, _MISSES
-    _BASE.clear()
-    _HITS = 0
-    _MISSES = 0
+    with _LOCK:
+        _BASE.clear()
+        _HITS = 0
+        _MISSES = 0

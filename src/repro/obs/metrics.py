@@ -10,10 +10,21 @@ runs stay reproducible.
 Histogram bucket boundaries are fixed at first registration of a metric
 name (never derived from observed data), so two runs that observe the
 same values always land them in the same buckets.
+
+A registry is safe to share across threads: the get-or-create lookups and
+the mutation shorthands (:meth:`MetricsRegistry.inc`,
+:meth:`~MetricsRegistry.set_gauge`, :meth:`~MetricsRegistry.observe`), as
+well as :meth:`~MetricsRegistry.merge` and
+:meth:`~MetricsRegistry.snapshot`, hold one registry-wide lock — pooled
+threaded engines and the offload service can feed one aggregate registry
+without lost increments.  Mutating a :class:`Counter`/:class:`Gauge`/
+:class:`Histogram` object *returned* by the registry is not synchronised;
+concurrent writers must go through the registry shorthands.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
@@ -125,21 +136,25 @@ class MetricsRegistry:
         self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
         self._hist_buckets: dict[str, tuple[float, ...]] = {}
+        # Reentrant: merge() mutates through histogram() under the lock.
+        self._lock = threading.RLock()
 
     # -- get-or-create --------------------------------------------------------
 
     def counter(self, name: str, **labels: Any) -> Counter:
         key = (name, _label_key(labels))
-        c = self._counters.get(key)
-        if c is None:
-            c = self._counters[key] = Counter(name=name, labels=key[1])
+        with self._lock:
+            c = self._counters.get(key)
+            if c is None:
+                c = self._counters[key] = Counter(name=name, labels=key[1])
         return c
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         key = (name, _label_key(labels))
-        g = self._gauges.get(key)
-        if g is None:
-            g = self._gauges[key] = Gauge(name=name, labels=key[1])
+        with self._lock:
+            g = self._gauges.get(key)
+            if g is None:
+                g = self._gauges[key] = Gauge(name=name, labels=key[1])
         return g
 
     def histogram(
@@ -151,25 +166,28 @@ class MetricsRegistry:
     ) -> Histogram:
         """Histogram for ``name``; bucket boundaries are pinned by the
         first registration of the name and shared by every label set."""
-        fixed = self._hist_buckets.get(name)
-        if fixed is None:
-            fixed = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
-            self._hist_buckets[name] = fixed
         key = (name, _label_key(labels))
-        h = self._histograms.get(key)
-        if h is None:
-            h = self._histograms[key] = Histogram(
-                name=name, buckets=fixed, labels=key[1]
-            )
+        with self._lock:
+            fixed = self._hist_buckets.get(name)
+            if fixed is None:
+                fixed = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
+                self._hist_buckets[name] = fixed
+            h = self._histograms.get(key)
+            if h is None:
+                h = self._histograms[key] = Histogram(
+                    name=name, buckets=fixed, labels=key[1]
+                )
         return h
 
     # -- shorthands ------------------------------------------------------------
 
     def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
-        self.counter(name, **labels).inc(amount)
+        with self._lock:
+            self.counter(name, **labels).inc(amount)
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
-        self.gauge(name, **labels).set(value)
+        with self._lock:
+            self.gauge(name, **labels).set(value)
 
     def observe(
         self,
@@ -179,7 +197,8 @@ class MetricsRegistry:
         buckets: tuple[float, ...] | None = None,
         **labels: Any,
     ) -> None:
-        self.histogram(name, buckets=buckets, **labels).observe(value)
+        with self._lock:
+            self.histogram(name, buckets=buckets, **labels).observe(value)
 
     # -- introspection ---------------------------------------------------------
 
@@ -201,43 +220,56 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         """Deterministic (sorted) plain-dict view of every metric."""
-        return {
-            "counters": {
-                _flat_name(c.name, c.labels): c.value for c in self.counters()
-            },
-            "gauges": {
-                _flat_name(g.name, g.labels): g.value for g in self.gauges()
-            },
-            "histograms": {
-                _flat_name(h.name, h.labels): {
-                    "sum": h.total,
-                    "count": h.count,
-                    "buckets": h.cumulative(),
-                }
-                for h in self.histograms()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    _flat_name(c.name, c.labels): c.value
+                    for c in self.counters()
+                },
+                "gauges": {
+                    _flat_name(g.name, g.labels): g.value
+                    for g in self.gauges()
+                },
+                "histograms": {
+                    _flat_name(h.name, h.labels): {
+                        "sum": h.total,
+                        "count": h.count,
+                        "buckets": h.cumulative(),
+                    }
+                    for h in self.histograms()
+                },
+            }
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry's totals into this one (grid aggregation)."""
-        for c in other.counters():
-            self._counters.setdefault(
-                (c.name, c.labels), Counter(name=c.name, labels=c.labels)
-            ).value += c.value
-        for g in other.gauges():
-            self.gauge(g.name, **dict(g.labels)).set(g.value)
-        for h in other.histograms():
-            mine = self.histogram(h.name, buckets=h.buckets, **dict(h.labels))
-            if mine.buckets != h.buckets:
-                raise ValueError(
-                    f"histogram {h.name}: bucket boundaries differ across "
-                    "registries"
+        # Lock both registries in a global (id) order so two concurrent
+        # opposite-direction merges cannot deadlock.
+        first, second = (
+            (self._lock, other._lock)
+            if id(self) <= id(other)
+            else (other._lock, self._lock)
+        )
+        with first, second:
+            for c in other.counters():
+                self._counters.setdefault(
+                    (c.name, c.labels), Counter(name=c.name, labels=c.labels)
+                ).value += c.value
+            for g in other.gauges():
+                self.gauge(g.name, **dict(g.labels)).set(g.value)
+            for h in other.histograms():
+                mine = self.histogram(
+                    h.name, buckets=h.buckets, **dict(h.labels)
                 )
-            for i, c in enumerate(h.counts):
-                mine.counts[i] += c
-            mine.overflow += h.overflow
-            mine.total += h.total
-            mine.count += h.count
+                if mine.buckets != h.buckets:
+                    raise ValueError(
+                        f"histogram {h.name}: bucket boundaries differ across "
+                        "registries"
+                    )
+                for i, c in enumerate(h.counts):
+                    mine.counts[i] += c
+                mine.overflow += h.overflow
+                mine.total += h.total
+                mine.count += h.count
 
 
 def _flat_name(name: str, labels: _LabelKey) -> str:

@@ -15,6 +15,7 @@ offload entry points are:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.dist.policy import Align, Auto, Policy
@@ -23,7 +24,7 @@ from repro.engine.core import make_backend
 from repro.engine.simulator import OffloadEngine
 from repro.engine.threaded import ThreadedEngine  # noqa: F401 — registers "threaded"
 from repro.engine.trace import OffloadResult
-from repro.errors import DeviceError, SchedulingError
+from repro.errors import DeviceError, OffloadError, SchedulingError
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.kernels.base import LoopKernel
@@ -101,6 +102,33 @@ class HompRuntime:
             raise DeviceError("empty device selection")
         return ids
 
+    @staticmethod
+    def _lease_engine(engine, executor, submachine: MachineSpec, run_options: dict):
+        """Configuration lease on a caller-provided (pooled) engine.
+
+        Validates exclusivity with ``executor`` and the machine binding,
+        then returns the ``configured`` context manager that applies this
+        run's options for the duration of the run and restores the
+        engine's base configuration afterwards.
+        """
+        if executor is not None:
+            raise OffloadError(
+                "pass either executor= (a backend to build) or engine= "
+                "(an already-built instance), not both"
+            )
+        if not hasattr(engine, "configured") or not hasattr(engine, "run"):
+            raise OffloadError(
+                f"engine= expects an execution backend instance, got "
+                f"{type(engine).__name__}"
+            )
+        if engine.machine.to_dict() != submachine.to_dict():
+            raise OffloadError(
+                f"pooled engine is bound to machine {engine.machine.name!r} "
+                f"but this offload selects {submachine.name!r}; pool one "
+                "engine per (machine, device selection)"
+            )
+        return engine.configured(**run_options)
+
     def _resolve_scheduler(
         self,
         schedule,
@@ -140,6 +168,7 @@ class HompRuntime:
         resilience: ResiliencePolicy | None = None,
         tracer=None,
         executor: "str | type | None" = None,
+        engine=None,
         **sched_kwargs,
     ) -> OffloadResult:
         """Offload one parallel loop across the selected devices.
@@ -164,7 +193,13 @@ class HompRuntime:
         default; ``"threaded"`` — one real host thread per device on a
         wall clock) or a backend class.  Options a backend cannot honour
         (e.g. ``serialize_offload`` on the threaded backend) raise
-        :class:`~repro.errors.OffloadError` when set.
+        :class:`~repro.errors.OffloadError` when set.  ``engine`` — an
+        already-built backend *instance* to run on (a pooled engine from
+        :mod:`repro.service`); it must be bound to exactly the selected
+        submachine, per-run options are applied through its ``configured``
+        lease hook, and results are byte-identical to the engine this call
+        would otherwise construct.  ``engine`` and ``executor`` are
+        mutually exclusive.
         """
         ids = self.select_devices(devices)
         submachine = self.machine.subset(ids)
@@ -187,15 +222,22 @@ class HompRuntime:
             engine_kwargs["tracer"] = tracer
         if residency is not None:
             engine_kwargs["residency"] = RegionResidency(residency, tuple(ids))
-        engine = make_backend(
-            executor if executor is not None else OffloadEngine,
-            submachine,
+        run_options = dict(
             seed=self.seed,
             execute_numerically=self.execute_numerically,
             record_events=record_events,
             serialize_offload=serialize_offload,
             **engine_kwargs,
         )
+        if engine is None:
+            engine = make_backend(
+                executor if executor is not None else OffloadEngine,
+                submachine,
+                **run_options,
+            )
+            lease = nullcontext(engine)
+        else:
+            lease = self._lease_engine(engine, executor, submachine, run_options)
         prev_resident = kernel.resident
         if resident is not None:
             kernel.resident = frozenset(resident)
@@ -211,7 +253,8 @@ class HompRuntime:
                     fault_plan.describe() if fault_plan is not None else None
                 ),
             )
-            result = engine.run(kernel, scheduler, cutoff_ratio=ratio)
+            with lease:
+                result = engine.run(kernel, scheduler, cutoff_ratio=ratio)
         finally:
             kernel.resident = prev_resident
         result.meta["device_ids"] = ids
@@ -220,6 +263,59 @@ class HompRuntime:
             result.meta["timeline"] = engine.timeline
         return result
 
+    @staticmethod
+    def _validate_specs(specs) -> "list[OffloadSpec]":
+        """Fail fast on malformed batch input, naming the offending index.
+
+        ``parallel_for_many`` hands the whole batch to a backend; without
+        this check a bad cell surfaces as an opaque attribute error deep
+        inside the scheduler or the tensor rounds.  Returns the
+        normalized list so generator inputs are consumed exactly once.
+        """
+        try:
+            items = list(specs)
+        except TypeError:
+            raise SchedulingError(
+                f"parallel_for_many expects a list of OffloadSpec, got "
+                f"{type(specs).__name__}"
+            ) from None
+        if not items:
+            raise SchedulingError(
+                "parallel_for_many: empty spec list (nothing to offload); "
+                "pass at least one OffloadSpec"
+            )
+        for i, spec in enumerate(items):
+            if not isinstance(spec, OffloadSpec):
+                raise SchedulingError(
+                    f"parallel_for_many: specs[{i}] is "
+                    f"{type(spec).__name__}, expected OffloadSpec"
+                )
+            if not isinstance(spec.kernel, LoopKernel):
+                raise SchedulingError(
+                    f"parallel_for_many: specs[{i}].kernel is "
+                    f"{type(spec.kernel).__name__}, expected a LoopKernel"
+                )
+            if spec.cutoff_ratio != "auto":
+                try:
+                    ratio = float(spec.cutoff_ratio)
+                except (TypeError, ValueError):
+                    raise SchedulingError(
+                        f"parallel_for_many: specs[{i}].cutoff_ratio "
+                        f"{spec.cutoff_ratio!r} is not a fraction or 'auto'"
+                    ) from None
+                if not 0.0 <= ratio <= 1.0:
+                    raise SchedulingError(
+                        f"parallel_for_many: specs[{i}].cutoff_ratio "
+                        f"{ratio} is outside [0, 1]"
+                    )
+            if spec.execute_numerically not in (None, True, False):
+                raise SchedulingError(
+                    f"parallel_for_many: specs[{i}].execute_numerically is "
+                    f"{spec.execute_numerically!r}, expected True, False or "
+                    "None"
+                )
+        return items
+
     def parallel_for_many(
         self,
         specs: "list[OffloadSpec]",
@@ -227,6 +323,7 @@ class HompRuntime:
         devices=None,
         serialize_offload: bool = False,
         executor: "str | type | None" = None,
+        engine=None,
     ) -> list[OffloadResult]:
         """Offload a batch of independent loops through one backend.
 
@@ -237,23 +334,44 @@ class HompRuntime:
         array ops; otherwise cells run through ``run`` one by one.  Either
         way, results are positionally aligned with ``specs`` and carry the
         same ``meta`` a :meth:`parallel_for` result would.
+
+        ``engine`` accepts an already-built backend instance (a pooled
+        engine), exactly as in :meth:`parallel_for`; the batch's options
+        are applied through its ``configured`` lease for the duration of
+        the call.  The spec list is validated up front: an empty list or a
+        malformed spec raises :class:`~repro.errors.SchedulingError`
+        naming the offending index instead of failing deep in the backend.
         """
+        specs = self._validate_specs(specs)
         ids = self.select_devices(devices)
         submachine = self.machine.subset(ids)
-        engine = make_backend(
-            executor if executor is not None else OffloadEngine,
-            submachine,
+        run_options = dict(
             seed=self.seed,
             execute_numerically=self.execute_numerically,
             record_events=False,
             serialize_offload=serialize_offload,
         )
+        if engine is None:
+            engine = make_backend(
+                executor if executor is not None else OffloadEngine,
+                submachine,
+                **run_options,
+            )
+            lease = nullcontext(engine)
+        else:
+            lease = self._lease_engine(engine, executor, submachine, run_options)
         requests: list[BatchRequest] = []
         infos: list[OffloadInfo] = []
-        for spec in specs:
-            scheduler = self._resolve_scheduler(
-                spec.schedule, spec.kernel, submachine, {}
-            )
+        for i, spec in enumerate(specs):
+            try:
+                scheduler = self._resolve_scheduler(
+                    spec.schedule, spec.kernel, submachine, {}
+                )
+            except (SchedulingError, KeyError) as exc:
+                raise SchedulingError(
+                    f"parallel_for_many: specs[{i}].schedule "
+                    f"{spec.schedule!r} cannot be resolved: {exc}"
+                ) from exc
             if spec.cutoff_ratio == "auto":
                 ratio = default_cutoff_ratio(self.effective_device_count(ids))
             else:
@@ -278,30 +396,36 @@ class HompRuntime:
                     serialize_offload=serialize_offload,
                 )
             )
-        if hasattr(engine, "run_many"):
-            results = engine.run_many(requests)
-        else:
-            results = []
-            for req in requests:
-                eng = engine
-                if (
-                    req.execute_numerically is not None
-                    and req.execute_numerically != self.execute_numerically
-                ):
-                    eng = make_backend(
-                        executor if executor is not None else OffloadEngine,
-                        submachine,
-                        seed=self.seed,
-                        execute_numerically=req.execute_numerically,
-                        record_events=False,
-                        serialize_offload=serialize_offload,
-                    )
-                results.append(
-                    eng.run(
-                        req.kernel, req.scheduler,
-                        cutoff_ratio=req.cutoff_ratio,
-                    )
-                )
+        with lease:
+            if hasattr(engine, "run_many"):
+                results = engine.run_many(requests)
+            else:
+                results = []
+                for req in requests:
+                    if (
+                        req.execute_numerically is not None
+                        and req.execute_numerically
+                        != getattr(
+                            engine, "execute_numerically",
+                            self.execute_numerically,
+                        )
+                    ):
+                        with engine.configured(
+                            execute_numerically=req.execute_numerically
+                        ):
+                            results.append(
+                                engine.run(
+                                    req.kernel, req.scheduler,
+                                    cutoff_ratio=req.cutoff_ratio,
+                                )
+                            )
+                    else:
+                        results.append(
+                            engine.run(
+                                req.kernel, req.scheduler,
+                                cutoff_ratio=req.cutoff_ratio,
+                            )
+                        )
         for result, info in zip(results, infos):
             result.meta["device_ids"] = list(ids)
             result.meta["offload_info"] = info

@@ -1,0 +1,126 @@
+"""Batch coalescing rules for the offload service.
+
+Queued jobs that would each pay a full engine round-trip can instead ride
+one :meth:`~repro.engine.batch.BatchEngine.run_many` call, which advances
+all their timelines together as numpy array ops and — because the group
+shares one workload — builds the (expensive) kernel inputs once and runs
+the numeric execution once instead of once per job.
+
+A job is *coalescible* when batching cannot change its bytes or lose a
+side channel it asked for:
+
+* its factory exposes a ``fingerprint()`` identity (the group key needs
+  one, and sharing a kernel instance across jobs is only sound when the
+  jobs verifiably build the same kernel),
+* its policy is a concrete Table II notation whose scheduler is
+  ``batch_vectorizable`` (dynamic/guided/work-stealing schedules are
+  timing-dependent; ``"AUTO"`` resolves against the kernel, which does
+  not exist yet at queue time),
+* it carries no fault plan, no resilience override, no tracer, no event
+  recording, and no serialized offload — each of those either perturbs
+  per-cell state or expects per-run side channels.
+
+Jobs coalesce only within a :func:`group_key` — same machine selection,
+workload fingerprint, seed and verify flag — so a batch is exactly one
+``run_grid`` row: one workload under several policies/cutoffs.
+:func:`plan_group` then mirrors ``repro.bench.runner._run_batch_cells``'s
+kernel-sharing rules, keeping coalesced results byte-identical to solo
+runs (pinned by ``tests/service/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.runtime.runtime import OffloadSpec
+from repro.sched.registry import make_scheduler
+
+if TYPE_CHECKING:
+    from repro.service.job import OffloadJob
+
+__all__ = ["coalescible", "group_key", "plan_group"]
+
+#: notation -> batch_vectorizable, resolved once per notation (scheduler
+#: construction is cheap but the answer is a class attribute).
+_VECTORIZABLE: dict[str, bool] = {}
+
+
+def _vectorizable_policy(name: str) -> bool:
+    known = _VECTORIZABLE.get(name)
+    if known is None:
+        try:
+            known = bool(make_scheduler(name).batch_vectorizable)
+        except Exception:
+            known = False
+        _VECTORIZABLE[name] = known
+    return known
+
+
+def coalescible(job: "OffloadJob") -> bool:
+    """Whether ``job`` may share a ``run_many`` batch with compatible mates."""
+    if getattr(job.factory, "fingerprint", None) is None:
+        return False
+    if not isinstance(job.policy, str):
+        return False
+    name = job.policy.strip()
+    if not name or name.upper() == "AUTO":
+        return False
+    if job.trace or job.record_events or job.serialize_offload:
+        return False
+    if job.fault_plan is not None or job.resilience is not None:
+        return False
+    return _vectorizable_policy(name)
+
+
+def group_key(job: "OffloadJob", ids: "tuple[int, ...]") -> "tuple | None":
+    """Coalescing bucket for ``job`` on the normalised device selection.
+
+    None marks the job un-coalescible.  Two jobs with equal keys build
+    the same kernel (same fingerprint and seed) on the same submachine,
+    so their batch may share one kernel instance.
+    """
+    if not coalescible(job):
+        return None
+    fp = json.dumps(job.factory.fingerprint(), sort_keys=True, default=str)
+    return (tuple(ids), fp, job.seed, bool(job.verify))
+
+
+def plan_group(jobs: "list[OffloadJob]") -> tuple[list[OffloadSpec], list[bool]]:
+    """Specs for one coalesced batch, with per-cell numeric-execution flags.
+
+    Mirrors the grid runner's sharing rules for a single-workload batch:
+    the first cell builds the kernel and executes numerics; later cells
+    reuse the instance with numerics skipped (the simulated timeline
+    depends only on chunk sizes, and their results are byte-identical
+    either way — arrays untouched, reduction None).  Reduction kernels
+    execute every cell so each result carries its reduction value; a
+    reduction kernel that also copies arrays out would double-apply them
+    on a shared instance, so those get a fresh kernel per cell.
+    """
+    specs: list[OffloadSpec] = []
+    executed: list[bool] = []
+    shared = None
+    for job in jobs:
+        kernel = shared
+        fresh = kernel is None
+        if fresh:
+            kernel = job.factory()
+            shared = kernel
+        if kernel.is_reduction:
+            if any(m.direction.copies_out for m in kernel.effective_maps()):
+                if not fresh:
+                    kernel = job.factory()
+            execute = True
+        else:
+            execute = fresh
+        specs.append(
+            OffloadSpec(
+                kernel=kernel,
+                schedule=job.policy,
+                cutoff_ratio=job.cutoff_ratio,
+                execute_numerically=execute,
+            )
+        )
+        executed.append(execute)
+    return specs, executed

@@ -1,0 +1,191 @@
+"""Job and result types for the offload service.
+
+An :class:`OffloadJob` is everything one offload needs, deferred: a
+zero-arg kernel *factory* (the kernel itself is built on the worker that
+runs the job — kernels are mutable and must not be shared between jobs),
+a scheduling policy, a tenant identity for admission and fairness, and
+the optional knobs :meth:`~repro.runtime.runtime.HompRuntime.parallel_for`
+accepts (CUTOFF, device selection, fault plan, tracing).
+
+A :class:`JobResult` is the typed completion record: the
+:class:`~repro.engine.trace.OffloadResult` (byte-identical to a direct
+``parallel_for`` call), how the job was served (coalesced batch size,
+cache hit, backend), wall-clock latency stamps, and the job's isolated
+per-job :class:`~repro.obs.metrics.MetricsRegistry` (plus its
+:class:`~repro.obs.Tracer` when tracing was requested — exportable
+through the :mod:`repro.obs.export` writers).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.engine.trace import OffloadResult
+from repro.errors import JobSpecError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.kernels.base import LoopKernel
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["JobState", "OffloadJob", "JobResult", "JobHandle"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class OffloadJob:
+    """One offload request, as submitted by a tenant.
+
+    ``factory`` must build a *fresh* kernel on every call (runs mutate
+    output arrays).  Factories that expose a ``fingerprint()`` identity
+    (:class:`~repro.bench.workloads.WorkloadFactory`,
+    :class:`~repro.service.loadgen.WorkloadTemplate`) unlock the sweep
+    cache and batch coalescing; anonymous lambdas always run alone.
+
+    ``policy`` is a paper Table II notation string, ``"AUTO"``, or a
+    scheduler/Policy instance — exactly ``parallel_for``'s ``schedule``.
+    ``tag`` is an opaque caller correlation id echoed on the result.
+    """
+
+    factory: Callable[[], LoopKernel]
+    policy: Any = "AUTO"
+    tenant: str = "default"
+    tag: str = ""
+    cutoff_ratio: "float | str" = 0.0
+    seed: int = 0
+    verify: bool = True
+    devices: Any = None
+    fault_plan: FaultPlan | None = None
+    resilience: ResiliencePolicy | None = None
+    trace: bool = False
+    record_events: bool = False
+    serialize_offload: bool = False
+
+    def validate(self) -> None:
+        """Reject a malformed job before admission (:class:`JobSpecError`).
+
+        Shape-level checks only — device-selection and scheduler-notation
+        errors surface from the runtime with their own typed errors.
+        """
+        if isinstance(self.factory, LoopKernel):
+            raise JobSpecError(
+                "job factory is a LoopKernel instance; pass a factory that "
+                "builds one per run (kernels are mutated by execution)"
+            )
+        if not callable(self.factory):
+            raise JobSpecError(
+                f"job factory must be a zero-arg callable building a "
+                f"LoopKernel, got {type(self.factory).__name__}"
+            )
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise JobSpecError(
+                f"job tenant must be a non-empty string, got {self.tenant!r}"
+            )
+        if self.cutoff_ratio != "auto":
+            try:
+                ratio = float(self.cutoff_ratio)
+            except (TypeError, ValueError):
+                raise JobSpecError(
+                    f"job cutoff_ratio {self.cutoff_ratio!r} is not a "
+                    "fraction or 'auto'"
+                ) from None
+            if not 0.0 <= ratio <= 1.0:
+                raise JobSpecError(
+                    f"job cutoff_ratio {ratio} is outside [0, 1]"
+                )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise JobSpecError(f"job seed must be an int, got {self.seed!r}")
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise JobSpecError(
+                f"job fault_plan must be a FaultPlan or None, got "
+                f"{type(self.fault_plan).__name__}"
+            )
+
+
+@dataclass
+class JobResult:
+    """Typed completion record for one job.
+
+    ``result`` is None exactly when ``error`` is set.  ``batch_size`` is
+    the number of jobs the serving batch carried (1 for a solo run);
+    ``coalesced`` is True when the job shared a
+    :meth:`~repro.engine.batch.BatchEngine.run_many` call with others.
+    ``metrics`` is the job's own isolated registry (cache/coalesce
+    markers, plus the full engine span-derived metrics when the job was
+    traced); ``tracer`` carries the span stream for traced jobs.
+    """
+
+    job: OffloadJob
+    state: JobState
+    result: OffloadResult | None = None
+    error: BaseException | None = None
+    backend: str = "virtual"
+    coalesced: bool = False
+    batch_size: int = 1
+    cache_hit: bool = False
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.state is JobState.DONE
+
+    @property
+    def latency_s(self) -> float:
+        """Submission-to-completion wall latency."""
+        return max(0.0, self.finished_at - self.submitted_at)
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent queued before an engine picked the job up."""
+        return max(0.0, self.started_at - self.submitted_at)
+
+    def unwrap(self) -> OffloadResult:
+        """The offload result, re-raising the job's failure if it has one."""
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+class JobHandle:
+    """Awaitable handle to a submitted job.
+
+    ``await handle`` (or ``await handle.wait()``) yields the
+    :class:`JobResult` — always a result object, never an exception, so
+    ``asyncio.gather`` over a fleet of handles cannot be torn down by one
+    failed job.  Use :meth:`JobResult.unwrap` to re-raise failures.
+    """
+
+    __slots__ = ("job", "submitted_at", "_future")
+
+    def __init__(self, job: OffloadJob, future: "asyncio.Future[JobResult]",
+                 submitted_at: float):
+        self.job = job
+        self.submitted_at = submitted_at
+        self._future = future
+
+    @property
+    def done(self) -> bool:
+        return self._future.done()
+
+    async def wait(self) -> JobResult:
+        return await asyncio.shield(self._future)
+
+    def __await__(self):
+        return self.wait().__await__()

@@ -1,0 +1,96 @@
+"""Reusable engine pool for the offload service.
+
+Execution backends are sequentially reusable but never concurrently
+shareable: :class:`~repro.engine.core.EngineBase` guards ``run()`` with a
+run gate that raises :class:`~repro.errors.EngineBusyError` on overlap.
+The pool turns that contract into throughput: up to ``size`` offloads run
+at once, each on an engine it holds *exclusively* for the duration of the
+lease, and engines are returned to a free list instead of being rebuilt
+per job (engine construction is cheap, but reuse keeps the pool's
+concurrency accounting honest and mirrors how a real device queue would
+be held open).
+
+Free engines are keyed by ``(backend, device-selection)`` because an
+engine is bound to one submachine: the pool builds each engine over
+``machine.subset(ids)`` — the *same* path ``parallel_for`` uses — so a
+pooled run's machine (and therefore its result bytes) is identical to a
+direct run's.  Per-run options (seed, numeric execution, fault plans,
+tracers) are applied through the engine's ``configured()`` lease by
+``parallel_for(engine=...)``, never baked into the pooled instance.
+
+The pool is an asyncio object: ``acquire`` awaits a semaphore slot on the
+event loop; the engine then runs on a worker thread while the loop keeps
+dispatching.  All bookkeeping happens on the loop thread.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import asyncio
+
+from repro.engine.core import make_backend, resolve_backend
+from repro.machine.spec import MachineSpec
+
+__all__ = ["EnginePool"]
+
+
+class EnginePool:
+    """At most ``size`` concurrently leased engines over one machine."""
+
+    def __init__(self, machine: MachineSpec, *, size: int = 4):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.machine = machine
+        self.size = size
+        self._sem = asyncio.Semaphore(size)
+        self._free: dict[tuple[str, tuple[int, ...]], list[Any]] = {}
+        #: Engines ever constructed / leases ever granted / current and
+        #: high-water concurrent leases (for tests and pool metrics).
+        self.created = 0
+        self.leases = 0
+        self.active = 0
+        self.max_active = 0
+
+    @staticmethod
+    def _key(backend: "str | type", ids: "tuple[int, ...]") -> tuple[str, tuple[int, ...]]:
+        name = getattr(resolve_backend(backend), "backend_name", None)
+        return (name or str(backend), tuple(ids))
+
+    async def acquire(self, backend: "str | type", ids: "tuple[int, ...]") -> Any:
+        """Lease an engine for ``(backend, ids)``; blocks on pool pressure.
+
+        The returned engine is exclusively the caller's until it is
+        handed back through :meth:`release` — the pool itself is what
+        makes :class:`~repro.errors.EngineBusyError` unreachable.
+        """
+        await self._sem.acquire()
+        key = self._key(backend, ids)
+        free = self._free.get(key)
+        if free:
+            engine = free.pop()
+        else:
+            engine = make_backend(
+                backend, self.machine.subset(list(ids))
+            )
+            self.created += 1
+        self.leases += 1
+        self.active += 1
+        self.max_active = max(self.max_active, self.active)
+        return engine
+
+    def release(self, backend: "str | type", ids: "tuple[int, ...]",
+                engine: Any) -> None:
+        """Return a leased engine to the free list and free its slot."""
+        self._free.setdefault(self._key(backend, ids), []).append(engine)
+        self.active -= 1
+        self._sem.release()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": self.size,
+            "created": self.created,
+            "leases": self.leases,
+            "active": self.active,
+            "max_active": self.max_active,
+        }

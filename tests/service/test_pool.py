@@ -1,0 +1,240 @@
+"""Engine pooling: exclusive leases, reuse, and EngineBusyError safety.
+
+Two halves of one contract: a bare engine *does* raise
+:class:`~repro.errors.EngineBusyError` when two tasks race ``run()`` on
+it, and the pool makes that impossible by construction — even under a
+stress load far wider than the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.engine.core import make_backend
+from repro.errors import EngineBusyError, OffloadError
+from repro.kernels.registry import make_kernel
+from repro.runtime.runtime import HompRuntime
+from repro.sched.registry import make_scheduler
+from repro.service import EnginePool, OffloadJob, OffloadService, TenantQuota
+from repro.service.loadgen import WorkloadTemplate
+
+TMPL = WorkloadTemplate("axpy", 512, seed=1)
+
+
+# -- the hazard the pool exists to prevent ------------------------------------
+
+def test_concurrent_run_on_one_engine_raises_busy(gpu4):
+    """Two threads entering run() on one engine: exactly one must win."""
+    engine = make_backend("virtual", gpu4)
+    n_threads = 4
+    start = threading.Barrier(n_threads)
+    outcomes: list[str] = []
+    lock = threading.Lock()
+
+    def attempt(i: int) -> None:
+        kernel = make_kernel("axpy", 200_000, seed=i)
+        sched = make_scheduler("BLOCK")
+        start.wait()
+        try:
+            engine.run(kernel, sched)
+        except EngineBusyError:
+            with lock:
+                outcomes.append("busy")
+        else:
+            with lock:
+                outcomes.append("ran")
+
+    threads = [
+        threading.Thread(target=attempt, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert outcomes.count("ran") >= 1
+    assert outcomes.count("busy") >= 1
+    assert len(outcomes) == n_threads
+
+
+def test_configured_lease_on_busy_engine_raises(gpu4):
+    """configured() refuses an engine that is mid-run."""
+    engine = make_backend("virtual", gpu4)
+    release = threading.Event()
+    entered = threading.Event()
+
+    class SlowKernel:
+        pass
+
+    # Hold the run gate open via a run in another thread.
+    def run():
+        kernel = make_kernel("axpy", 1000, seed=0)
+        sched = make_scheduler("BLOCK")
+        orig = kernel.execute_chunk
+
+        def slow_execute(rows, *, shared=True):
+            entered.set()
+            release.wait(timeout=10)
+            return orig(rows, shared=shared)
+
+        kernel.execute_chunk = slow_execute
+        engine.run(kernel, sched)
+
+    t = threading.Thread(target=run)
+    t.start()
+    try:
+        assert entered.wait(timeout=10)
+        assert engine.busy
+        with pytest.raises(EngineBusyError):
+            with engine.configured(seed=5):
+                pass
+    finally:
+        release.set()
+        t.join()
+    assert not engine.busy
+
+
+def test_lease_engine_rejects_mismatched_machine(gpu4, cpu_mic):
+    """A pooled engine bound to another machine is refused up front."""
+    rt = HompRuntime(gpu4)
+    foreign = make_backend("virtual", cpu_mic)
+    with pytest.raises(OffloadError, match="bound to machine"):
+        rt.parallel_for(make_kernel("axpy", 512, seed=0), schedule="BLOCK",
+                        engine=foreign)
+
+
+def test_engine_and_executor_are_mutually_exclusive(gpu4):
+    rt = HompRuntime(gpu4)
+    engine = make_backend("virtual", gpu4)
+    with pytest.raises(OffloadError, match="not both"):
+        rt.parallel_for(make_kernel("axpy", 512, seed=0), schedule="BLOCK",
+                        engine=engine, executor="virtual")
+
+
+# -- pool mechanics -----------------------------------------------------------
+
+def test_pool_bounds_concurrency_and_reuses_engines(gpu4):
+    async def main():
+        pool = EnginePool(gpu4, size=2)
+        ids = tuple(range(len(gpu4)))
+        a = await pool.acquire("virtual", ids)
+        b = await pool.acquire("virtual", ids)
+        assert pool.active == 2 and pool.created == 2
+        # third acquire must block until a release
+        third = asyncio.ensure_future(pool.acquire("virtual", ids))
+        await asyncio.sleep(0)
+        assert not third.done()
+        pool.release("virtual", ids, a)
+        c = await third
+        assert c is a  # the freed engine is reused, not rebuilt
+        pool.release("virtual", ids, b)
+        pool.release("virtual", ids, c)
+        assert pool.created == 2
+        assert pool.max_active == 2
+        assert pool.leases == 3
+
+    asyncio.run(main())
+
+
+def test_pool_keys_engines_by_backend_and_devices(gpu4):
+    async def main():
+        pool = EnginePool(gpu4, size=4)
+        all_ids = tuple(range(len(gpu4)))
+        v = await pool.acquire("virtual", all_ids)
+        b = await pool.acquire("batch", all_ids)
+        sub = await pool.acquire("virtual", (0, 1))
+        assert type(v).backend_name == "virtual"
+        assert type(b).backend_name == "batch"
+        assert len(sub.machine) == 2
+        # the submachine is built through MachineSpec.subset — the exact
+        # path parallel_for takes, so pooled results match direct ones
+        assert sub.machine.to_dict() == gpu4.subset([0, 1]).to_dict()
+        for backend, ids, eng in (
+            ("virtual", all_ids, v), ("batch", all_ids, b),
+            ("virtual", (0, 1), sub),
+        ):
+            pool.release(backend, ids, eng)
+        assert pool.created == 3
+
+    asyncio.run(main())
+
+
+def test_pool_size_validation(gpu4):
+    with pytest.raises(ValueError):
+        EnginePool(gpu4, size=0)
+
+
+# -- the stress guarantee -----------------------------------------------------
+
+def test_pool_never_trips_engine_busy_under_load(gpu4):
+    """120 interleaved jobs over a 3-slot pool: EngineBusyError unreachable.
+
+    Every failure mode of a mis-shared engine surfaces as a failed
+    JobResult, so asserting all 120 results are ok pins the guarantee.
+    """
+    policies = ("BLOCK", "SCHED_DYNAMIC", "MODEL_1_AUTO", "SCHED_GUIDED")
+
+    async def main():
+        async with OffloadService(
+            gpu4,
+            pool_size=3,
+            coalesce=False,  # solo jobs only: maximum engine churn
+            use_cache=False,
+            default_quota=TenantQuota(max_in_flight=200),
+        ) as svc:
+            handles = []
+            for i in range(120):
+                handles.append(await svc.submit(OffloadJob(
+                    TMPL,
+                    policy=policies[i % len(policies)],
+                    tenant=f"tenant-{i % 5}",
+                    seed=1,
+                    tag=f"j{i}",
+                )))
+                if i % 7 == 0:
+                    await asyncio.sleep(0)  # interleave with the dispatcher
+            results = await asyncio.gather(*(h.wait() for h in handles))
+            stats = svc.pool_stats()
+        return results, stats
+
+    results, stats = asyncio.run(main())
+    assert len(results) == 120
+    for res in results:
+        assert res.ok, f"{res.job.tag} failed: {res.error!r}"
+        assert not isinstance(res.error, EngineBusyError)
+    # the pool held its bound and actually reused engines
+    assert stats["max_active"] <= 3
+    assert stats["leases"] == 120
+    assert stats["created"] <= 3
+
+
+def test_pooled_engines_isolated_across_asyncio_tasks(gpu4):
+    """Concurrent tasks reusing pooled engines see no cross-job state bleed:
+    every job's reduction matches its own seed's direct run."""
+
+    async def one(svc, seed, policy):
+        handle = await svc.submit(OffloadJob(
+            WorkloadTemplate("sum", 2048, seed=seed), policy=policy,
+            seed=seed,
+        ))
+        return await handle
+
+    async def main():
+        async with OffloadService(
+            gpu4, pool_size=2, coalesce=False, use_cache=False,
+        ) as svc:
+            return await asyncio.gather(*(
+                one(svc, seed, policy)
+                for seed in (1, 2, 3)
+                for policy in ("BLOCK", "MODEL_1_AUTO")
+            ))
+
+    results = asyncio.run(main())
+    for res in results:
+        assert res.ok, res.error
+        rt = HompRuntime(gpu4, seed=res.job.seed)
+        direct = rt.parallel_for(res.job.factory(), schedule=res.job.policy)
+        assert res.result.reduction == direct.reduction
+        assert res.result.total_time_s == direct.total_time_s

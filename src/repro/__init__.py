@@ -18,6 +18,12 @@ Quickstart::
     print(result.total_time_ms, result.iterations_per_device())
 """
 
+from repro.cluster import (
+    ClusterEngine,
+    ClusterSpec,
+    gpu_cluster,
+    homogeneous_cluster,
+)
 from repro.engine import (
     DeviceTrace,
     OffloadEngine,
@@ -89,7 +95,7 @@ from repro.dist import Align, Auto, Block, Cyclic, Full, parse_policy
 from repro.lang import parse_device_clause, parse_directive
 from repro.obs import MetricsRegistry, Span, Tracer, write_chrome_trace
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -97,6 +103,7 @@ __all__ = [
     "DeviceTrace",
     "OffloadEngine",
     "ThreadedEngine",
+    "ClusterEngine",
     "OffloadResult",
     "register_backend",
     "backend_names",
@@ -147,6 +154,10 @@ __all__ = [
     "cpu_mic_node",
     "full_node",
     "homogeneous_node",
+    # cluster
+    "ClusterSpec",
+    "gpu_cluster",
+    "homogeneous_cluster",
     # runtime
     "HompRuntime",
     "TargetDataRegion",

@@ -1,0 +1,22 @@
+"""Multi-node cluster model: machine nodes on a fabric, run hierarchically.
+
+* :class:`~repro.cluster.spec.ClusterSpec` — an ordered tuple of
+  :class:`~repro.machine.spec.MachineSpec` nodes joined by one inter-node
+  fabric :class:`~repro.machine.interconnect.Link`, with JSON round-trip
+  and presets (:func:`~repro.cluster.spec.gpu_cluster`,
+  :func:`~repro.cluster.spec.homogeneous_cluster`).
+* :class:`~repro.cluster.engine.ClusterEngine` — the ``"cluster"``
+  execution backend: node-level BLOCK/weighted split, intra-node engines
+  per shard, fabric staging charged through the node-level residency
+  ledger.  A single-node cluster is bit-identical to ``"virtual"``.
+"""
+
+from repro.cluster.spec import ClusterSpec, gpu_cluster, homogeneous_cluster
+from repro.cluster.engine import ClusterEngine
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterEngine",
+    "gpu_cluster",
+    "homogeneous_cluster",
+]

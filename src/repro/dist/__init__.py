@@ -11,6 +11,11 @@ from repro.dist.policy import (
 )
 from repro.dist.distribution import DimDistribution, ArrayDistribution
 from repro.dist.align import AlignmentGraph
+from repro.dist.hierarchy import (
+    HierarchicalPartition,
+    hierarchical_partition,
+    node_shards,
+)
 from repro.dist.nested import TileDistribution, device_grid
 
 __all__ = [
@@ -24,6 +29,9 @@ __all__ = [
     "DimDistribution",
     "ArrayDistribution",
     "AlignmentGraph",
+    "HierarchicalPartition",
+    "hierarchical_partition",
+    "node_shards",
     "TileDistribution",
     "device_grid",
 ]

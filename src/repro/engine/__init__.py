@@ -20,6 +20,11 @@ scheduling of events in time and register themselves by name:
   ``(cells x devices x chunks)`` cost tensor, bit-identical to
   ``"virtual"`` for the static scheduler families and falling back to it
   per cell for everything timing-dependent.
+* ``"cluster"`` — :class:`~repro.cluster.engine.ClusterEngine` splits
+  the loop across the nodes of a :class:`~repro.cluster.spec.ClusterSpec`
+  and runs each shard on an intra-node ``"virtual"`` engine, charging
+  cross-node staging to the inter-node fabric; a single-node cluster is
+  bit-identical to ``"virtual"``.
 
 Select a backend with ``HompRuntime.parallel_for(executor=...)`` or
 build one directly via :func:`~repro.engine.core.make_backend`.
@@ -43,6 +48,10 @@ from repro.engine.simulator import OffloadEngine
 from repro.engine.threaded import ThreadedEngine
 from repro.engine.batch import BATCH_VERSION, BatchEngine, BatchRequest
 from repro.engine.events import ChunkEvent, Timeline, render_timeline
+# Last, as a plain module import: the cluster backend composes the
+# intra-node engine above, and binding its class here would fail when an
+# import chain *starts* from repro.cluster (the module is mid-init then).
+import repro.cluster.engine  # noqa: F401  (registers the "cluster" backend)
 
 __all__ = [
     "DeviceTrace",

@@ -25,6 +25,7 @@ __all__ = [
     "JobSpecError",
     "AdmissionError",
     "ServiceClosedError",
+    "JobCancelled",
 ]
 
 
@@ -128,3 +129,13 @@ class AdmissionError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A job was submitted to a service that is not running."""
+
+
+class JobCancelled(ServiceError):
+    """A queued job was cancelled before it was dispatched.
+
+    Carried as the ``error`` of a :class:`~repro.service.JobResult` in
+    state ``CANCELLED`` — handles resolve with it, they never raise it;
+    :meth:`~repro.service.JobResult.unwrap` re-raises it like any other
+    job failure.
+    """

@@ -6,7 +6,14 @@ spec-calibrated model preserves the scheduling behaviour the paper studies.
 """
 
 from repro.machine.spec import DeviceSpec, DeviceType, MachineSpec, MemoryKind
-from repro.machine.interconnect import Link, SHARED_LINK
+from repro.machine.interconnect import (
+    ETHERNET_10GBE,
+    ETHERNET_100GBE,
+    INFINIBAND_EDR,
+    INFINIBAND_HDR,
+    Link,
+    SHARED_LINK,
+)
 from repro.machine.device import Device
 from repro.machine.presets import (
     cpu_spec,
@@ -26,6 +33,10 @@ __all__ = [
     "MemoryKind",
     "Link",
     "SHARED_LINK",
+    "ETHERNET_10GBE",
+    "ETHERNET_100GBE",
+    "INFINIBAND_EDR",
+    "INFINIBAND_HDR",
     "Device",
     "cpu_spec",
     "k40_spec",

@@ -23,6 +23,25 @@ from repro.machine.interconnect import Link, SHARED_LINK
 __all__ = ["DeviceType", "MemoryKind", "DeviceSpec", "MachineSpec"]
 
 
+def _check_keys(
+    d: dict, allowed: frozenset[str], what: str, source: "str | Path | None"
+) -> None:
+    """Reject unknown/extra JSON keys with a :class:`MachineSpecError`.
+
+    Machine (and cluster) description files are hand-edited; a typo like
+    ``"latencys"`` must name the offending key and the file it came from,
+    not surface as a bare ``TypeError`` from a dataclass constructor.
+    """
+    unknown = sorted(set(d) - allowed)
+    if unknown:
+        where = f" in {source}" if source is not None else ""
+        raise MachineSpecError(
+            f"unknown key{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(repr(k) for k in unknown)} in {what}{where}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
 class DeviceType(str, Enum):
     """Device type filters, as used in ``device(0:*:HOMP_DEVICE_NVGPU)``."""
 
@@ -142,10 +161,26 @@ class DeviceSpec:
         }
         return d
 
+    #: JSON keys a device entry may carry (see :func:`_check_keys`).
+    FILE_KEYS = frozenset(
+        {
+            "name", "dev_type", "sustained_gflops", "mem_bandwidth_gbs",
+            "model_gflops", "link", "memory", "launch_overhead_s",
+            "sched_overhead_s", "setup_overhead_s", "pcie_group", "noise",
+        }
+    )
+    LINK_KEYS = frozenset({"latency_s", "bandwidth_gbs"})
+
     @classmethod
-    def from_dict(cls, d: dict) -> "DeviceSpec":
+    def from_dict(
+        cls, d: dict, *, source: "str | Path | None" = None
+    ) -> "DeviceSpec":
+        _check_keys(d, cls.FILE_KEYS, f"device spec {d.get('name')!r}", source)
+        link_d = d.get("link") or {}
+        _check_keys(
+            link_d, cls.LINK_KEYS, f"link of device {d.get('name')!r}", source
+        )
         try:
-            link_d = d.get("link") or {}
             bw = link_d.get("bandwidth_gbs")
             link = Link(
                 latency_s=float(link_d.get("latency_s", 0.0)),
@@ -214,13 +249,24 @@ class MachineSpec:
     def to_dict(self) -> dict:
         return {"name": self.name, "devices": [d.to_dict() for d in self.devices]}
 
+    #: Top-level JSON keys of a machine description file.
+    FILE_KEYS = frozenset({"name", "devices"})
+
     @classmethod
-    def from_dict(cls, d: dict) -> "MachineSpec":
+    def from_dict(
+        cls, d: dict, *, source: "str | Path | None" = None
+    ) -> "MachineSpec":
+        _check_keys(d, cls.FILE_KEYS, "machine spec", source)
         try:
-            devices = tuple(DeviceSpec.from_dict(x) for x in d["devices"])
+            devices = tuple(
+                DeviceSpec.from_dict(x, source=source) for x in d["devices"]
+            )
             return cls(name=str(d["name"]), devices=devices)
+        except MachineSpecError:
+            raise
         except (KeyError, TypeError) as exc:
-            raise MachineSpecError(f"bad machine spec: {exc}") from exc
+            where = f" {source}" if source is not None else ""
+            raise MachineSpecError(f"bad machine spec{where}: {exc}") from exc
 
     def to_file(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
@@ -231,7 +277,7 @@ class MachineSpec:
             data = json.loads(Path(path).read_text())
         except (OSError, json.JSONDecodeError) as exc:
             raise MachineSpecError(f"cannot read machine file {path}: {exc}") from exc
-        return cls.from_dict(data)
+        return cls.from_dict(data, source=path)
 
     def describe(self) -> str:
         """One line per device, for logs and example output."""

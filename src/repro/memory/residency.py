@@ -50,6 +50,7 @@ __all__ = [
     "ResidencyLedger",
     "DataPlacementPlan",
     "RegionResidency",
+    "ClusterResidency",
 ]
 
 #: Version of the data-placement layer.  Part of the sweep-cache
@@ -708,3 +709,158 @@ class RegionResidency:
     def mark_resident(self, local_dev: int, name: str, rows: IterRange) -> None:
         """Rows arrived on the device (halo delivery)."""
         self.ledger.mark_valid(self.ids[local_dev], name, [rows])
+
+
+# ---------------------------------------------------------------------------
+# Node-granular residency (repro.cluster)
+# ---------------------------------------------------------------------------
+
+class ClusterResidency:
+    """The PR 5 ledger at *node* granularity: which rows already live on
+    which node, and what a node's loop shard therefore costs in inter-node
+    fabric bytes.
+
+    The :class:`ResidencyLedger` keys devices by plain integers, so the
+    same machinery tracks node indices unchanged; only the charging unit
+    differs — one charge per node *shard* (the whole intra-node offload)
+    instead of per chunk, because intra-node transfers are priced by the
+    node's own engine run and only cross-node movement belongs to the
+    fabric.
+
+    Two placements, mirroring the paper's partition policies lifted one
+    level up:
+
+    * ``head`` (flat staging): all data starts on the head node; every
+      other node stages its full shard inputs in and copies its outputs
+      back — what a naive flat BLOCK over the whole cluster pays.
+    * ``aligned``: partitioned arrays were pre-distributed to the shard
+      owners (and FULL-mapped inputs broadcast) when the cluster data
+      region opened; an offload then moves only rows a node reads but
+      does not own — the cross-node *halo* — and outputs stay node-
+      resident.  The pre-distribution itself is the one-time
+      :meth:`scatter_bytes` cost, amortised across repeated offloads.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise MappingError(f"cluster residency needs n_nodes > 0, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.ledger = ResidencyLedger()
+        self.nodes = tuple(range(n_nodes))
+
+    # -- region setup ---------------------------------------------------------
+
+    def register_kernel(self, kernel: "LoopKernel") -> None:
+        """Declare every mapped array's geometry with the ledger."""
+        for m in kernel.effective_maps():
+            arr = kernel.arrays[m.name]
+            self.ledger.register(m.name, len(arr), kernel.row_nbytes(m.name))
+
+    def place_aligned(
+        self, kernel: "LoopKernel", shards: Iterable[IterRange]
+    ) -> None:
+        """Mark the aligned pre-distribution valid: each node owns its
+        shard's rows of every partitioned array, FULL-mapped inputs are
+        replicated everywhere.  Mapping references are retained so the
+        ledger keeps the arrays alive for the offload's duration."""
+        shards = list(shards)
+        whole = {
+            m.name: IterRange(0, self.ledger.rows_of(m.name))
+            for m in kernel.effective_maps()
+        }
+        for m in kernel.effective_maps():
+            if m.partitioned:
+                for node, shard in enumerate(shards):
+                    owned = kernel.input_region(m, shard)[0]
+                    self.ledger.retain(node, m.name, [owned])
+                    self.ledger.mark_valid(
+                        node, m.name, [shard.intersect(whole[m.name])]
+                    )
+            else:
+                for node in self.nodes:
+                    self.ledger.retain(node, m.name, [whole[m.name]])
+                    if m.direction.copies_in:
+                        self.ledger.mark_valid(node, m.name, [whole[m.name]])
+
+    def scatter_bytes(self, kernel: "LoopKernel", shards: Iterable[IterRange]) -> list[float]:
+        """Per-node bytes the aligned pre-distribution itself moves: each
+        node's owned shard rows of partitioned inputs plus a full replica
+        of every FULL-mapped input (nothing for the head node, which
+        already holds the host image)."""
+        out: list[float] = []
+        for node, shard in enumerate(shards):
+            total = 0.0
+            if node != 0:
+                for m in kernel.effective_maps():
+                    if not m.direction.copies_in:
+                        continue
+                    row_b = self.ledger.row_bytes(m.name)
+                    if m.partitioned:
+                        rows = self.ledger.rows_of(m.name)
+                        owned = shard.intersect(IterRange(0, rows))
+                        total += row_b * len(owned)
+                    else:
+                        total += row_b * self.ledger.rows_of(m.name)
+            out.append(total)
+        return out
+
+    # -- per-shard fabric charging -------------------------------------------
+
+    def charge_shard(
+        self,
+        node: int,
+        kernel: "LoopKernel",
+        shard: IterRange,
+        *,
+        collect_outputs: bool,
+    ) -> tuple[float, float, float, float]:
+        """Fabric bytes node ``node``'s shard moves and elides.
+
+        Returns ``(bytes_in, bytes_out, elided_in, elided_out)`` exactly
+        like :meth:`RegionResidency.charge_chunk`, but against the *node*
+        ledger: inbound pays the halo-expanded shard rows not valid on
+        this node (everything under head placement, only the cross-node
+        halo under aligned), outbound pays the shard's written rows when
+        ``collect_outputs`` (head placement returns results to the head
+        node) and stays node-resident otherwise.  Node 0 — the head — is
+        the host image and never pays the fabric.
+        """
+        led = self.ledger
+        bytes_in = bytes_out = 0.0
+        elided_in = elided_out = 0.0
+        is_head = node == 0
+        for m in kernel.effective_maps():
+            name = m.name
+            row_b = led.row_bytes(name)
+            if m.partitioned:
+                region0 = kernel.input_region(m, shard)[0]
+                if m.direction.copies_in:
+                    if is_head:
+                        elided_in += row_b * len(region0)
+                    else:
+                        miss = led.missing_count(node, name, [region0])
+                        bytes_in += row_b * miss
+                        elided_in += row_b * (len(region0) - miss)
+                    led.mark_valid(node, name, [region0])
+                if m.direction.copies_out:
+                    if collect_outputs and not is_head:
+                        bytes_out += row_b * len(shard)
+                    else:
+                        elided_out += row_b * len(shard)
+                    led.note_write(node, name, shard)
+            else:
+                if m.direction.copies_in:
+                    whole = IterRange(0, led.rows_of(name))
+                    if is_head:
+                        elided_in += row_b * len(whole)
+                    else:
+                        miss = led.missing_count(node, name, [whole])
+                        bytes_in += row_b * miss
+                        elided_in += row_b * (len(whole) - miss)
+                    led.mark_valid(node, name, [whole])
+                if m.direction.copies_out:
+                    led.note_write(node, name, shard)
+        return bytes_in, bytes_out, elided_in, elided_out
+
+    def describe(self) -> dict:
+        return {"n_nodes": self.n_nodes, "ledger": self.ledger.describe()}

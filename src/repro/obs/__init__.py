@@ -50,6 +50,7 @@ from repro.obs.span import Span
 from repro.obs.tracer import (
     NULL_TRACER,
     OBS_ENV,
+    NodeTracer,
     NullTracer,
     Tracer,
     obs_enabled,
@@ -60,6 +61,7 @@ __all__ = [
     # span / tracer
     "Span",
     "Tracer",
+    "NodeTracer",
     "NullTracer",
     "NULL_TRACER",
     "OBS_ENV",

@@ -31,6 +31,7 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Tracer",
+    "NodeTracer",
     "resolve_tracer",
 ]
 
@@ -145,6 +146,86 @@ class Tracer:
     def clear(self) -> None:
         self.spans.clear()
         self.meta.clear()
+
+
+class NodeTracer:
+    """A node-scoped view of a tracer (the cluster backend's obs hook).
+
+    Every emission an intra-node engine makes through this view lands in
+    the *base* tracer's span stream with three rewrites: the device id is
+    offset to the cluster-global id, the timestamp is shifted to cluster
+    time (the node's shard starts only after its fabric staging), and a
+    ``node=<k>`` arg is stamped on the span — which is how exporters and
+    span-derived analyses tell apart same-named devices on different
+    nodes.  Queries and metrics go straight to the base tracer.
+    """
+
+    __slots__ = ("base", "node", "devid_offset", "t_offset")
+
+    def __init__(
+        self,
+        base: "Tracer | NullTracer",
+        *,
+        node: int,
+        devid_offset: int = 0,
+        t_offset: float = 0.0,
+    ) -> None:
+        self.base = base
+        self.node = node
+        self.devid_offset = devid_offset
+        self.t_offset = t_offset
+
+    @property
+    def enabled(self) -> bool:
+        return self.base.enabled
+
+    @property
+    def clock(self) -> str:
+        return self.base.clock
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        return self.base.metrics
+
+    @property
+    def meta(self) -> dict:
+        return getattr(self.base, "meta", {})
+
+    @property
+    def spans(self) -> list[Span]:
+        return self.base.spans
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        devid: int,
+        device: str,
+        t0: float,
+        t1: float,
+        **args: Any,
+    ) -> None:
+        self.base.span(
+            name,
+            cat,
+            devid + self.devid_offset if devid >= 0 else devid,
+            device,
+            t0 + self.t_offset,
+            t1 + self.t_offset,
+            node=self.node,
+            **args,
+        )
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        devid: int,
+        device: str,
+        t: float,
+        **args: Any,
+    ) -> None:
+        self.span(name, cat, devid, device, t, t, **args)
 
 
 def resolve_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:

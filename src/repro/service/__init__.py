@@ -34,6 +34,7 @@ from repro.service.admission import (
     TenantQuota,
     WeightedFairQueue,
 )
+from repro.service.client import retry_submit
 from repro.service.coalesce import coalescible, group_key, plan_group
 from repro.service.job import JobHandle, JobResult, JobState, OffloadJob
 from repro.service.loadgen import (
@@ -57,6 +58,7 @@ __all__ = [
     "WeightedFairQueue",
     "EnginePool",
     "OffloadService",
+    "retry_submit",
     "coalescible",
     "group_key",
     "plan_group",

@@ -247,6 +247,23 @@ class WeightedFairQueue:
         self._charge(tenant)
         return tenant, self._queues[tenant].popleft()
 
+    def remove(self, tenant: str, item: Any) -> bool:
+        """Withdraw one specific queued item (identity match).
+
+        Returns True when the item was found and removed.  Unlike
+        :meth:`pop` / :meth:`pop_matching`, a removal charges no pass —
+        the tenant was never *served*, so cancelling a queued job must
+        not cost fair-share credit.
+        """
+        q = self._queues.get(tenant)
+        if not q:
+            return False
+        for queued in q:
+            if queued is item:
+                q.remove(queued)
+                return True
+        return False
+
     def pop_matching(
         self, match: Callable[[Any], bool], limit: int
     ) -> list[tuple[str, Any]]:

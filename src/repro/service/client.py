@@ -1,0 +1,66 @@
+"""Client-side helpers for talking to an :class:`~repro.service.service.
+OffloadService`.
+
+The service's admission gate is honest about *when* to come back: every
+:class:`~repro.errors.AdmissionError` carries a ``retry_after_s`` hint —
+exact for token-bucket rate rejections, heuristic for in-flight and
+queue-capacity ones.  :func:`retry_submit` is the matching client loop:
+it resubmits after sleeping the hinted time (floored at ``min_backoff_s``
+and growing exponentially when the hint alone keeps losing the race),
+capped at ``max_backoff_s``, and gives up with the last
+:class:`~repro.errors.AdmissionError` after ``attempts`` tries.
+
+Both the clock-free sleep and the backoff arithmetic are injectable and
+deterministic, so tests drive the loop with a fake sleep and assert the
+exact waits chosen.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.errors import AdmissionError
+from repro.service.job import JobHandle, OffloadJob
+from repro.service.service import OffloadService
+
+__all__ = ["retry_submit"]
+
+
+async def retry_submit(
+    service: OffloadService,
+    job: OffloadJob,
+    *,
+    attempts: int = 5,
+    min_backoff_s: float = 0.001,
+    max_backoff_s: float = 1.0,
+    sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+) -> JobHandle:
+    """Submit ``job``, honouring admission Retry-After hints.
+
+    Each rejected attempt waits ``max(retry_after_s, min_backoff_s *
+    2**rejections)`` seconds, capped at ``max_backoff_s`` — the hint is
+    authoritative when it is the larger term (the rate bucket knows when
+    the next token lands), while the growing floor keeps a herd of
+    clients from retrying in lockstep on the heuristic hints.  Raises the
+    final :class:`~repro.errors.AdmissionError` once ``attempts``
+    submissions have been rejected; every other submission error
+    (:class:`~repro.errors.JobSpecError`, :class:`~repro.errors.
+    ServiceClosedError`) propagates immediately.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if min_backoff_s < 0 or max_backoff_s < min_backoff_s:
+        raise ValueError(
+            f"need 0 <= min_backoff_s <= max_backoff_s, got "
+            f"{min_backoff_s} and {max_backoff_s}"
+        )
+    for attempt in range(attempts):
+        try:
+            return await service.submit(job)
+        except AdmissionError as exc:
+            if attempt == attempts - 1:
+                raise
+            wait = max(exc.retry_after_s, min_backoff_s * (2.0 ** attempt))
+            await sleep(min(wait, max_backoff_s))
+    raise AssertionError("unreachable")  # pragma: no cover

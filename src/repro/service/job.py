@@ -40,6 +40,7 @@ class JobState(enum.Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -146,6 +147,11 @@ class JobResult:
         return self.state is JobState.DONE
 
     @property
+    def cancelled(self) -> bool:
+        """Whether the job was cancelled while still queued."""
+        return self.state is JobState.CANCELLED
+
+    @property
     def latency_s(self) -> float:
         """Submission-to-completion wall latency."""
         return max(0.0, self.finished_at - self.submitted_at)
@@ -172,17 +178,34 @@ class JobHandle:
     failed job.  Use :meth:`JobResult.unwrap` to re-raise failures.
     """
 
-    __slots__ = ("job", "submitted_at", "_future")
+    __slots__ = ("job", "submitted_at", "_future", "_cancel")
 
     def __init__(self, job: OffloadJob, future: "asyncio.Future[JobResult]",
                  submitted_at: float):
         self.job = job
         self.submitted_at = submitted_at
         self._future = future
+        #: Service-installed hook removing the job from the queue; None
+        #: for handles constructed outside a service.
+        self._cancel: "Callable[[], bool] | None" = None
 
     @property
     def done(self) -> bool:
         return self._future.done()
+
+    def cancel(self) -> bool:
+        """Withdraw the job if it is still queued.
+
+        Returns True when the job was removed from the service queue —
+        the handle then resolves with a :class:`JobResult` in state
+        ``CANCELLED`` carrying :class:`~repro.errors.JobCancelled` as its
+        error (``await handle`` still never raises).  Returns False when
+        the job already started running, finished, or the handle is not
+        service-backed: dispatched work is never torn down mid-run.
+        """
+        if self._future.done() or self._cancel is None:
+            return False
+        return self._cancel()
 
     async def wait(self) -> JobResult:
         return await asyncio.shield(self._future)

@@ -44,7 +44,7 @@ from repro.bench.cache import SweepCache, get_cache, result_key
 from repro.bench.runner import verify_result
 from repro.engine.core import resolve_backend
 from repro.engine.trace import OffloadResult
-from repro.errors import ServiceClosedError, ServiceError
+from repro.errors import JobCancelled, ServiceClosedError, ServiceError
 from repro.machine.spec import MachineSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, obs_enabled
@@ -245,6 +245,7 @@ class OffloadService:
             gkey=group_key(job, ids) if self.coalesce else None,
             submitted_at=now,
         )
+        handle._cancel = lambda: self._cancel_queued(rec)
         self._wfq.push(job.tenant, rec)
         self._unfinished += 1
         assert self._idle is not None and self._wake is not None
@@ -486,6 +487,40 @@ class OffloadService:
                 metrics=rec.registry,
             ),
         )
+
+    def _cancel_queued(self, rec: _Pending) -> bool:
+        """Withdraw a not-yet-dispatched job (the handle's cancel hook).
+
+        Only jobs still sitting in the weighted-fair queue can be
+        withdrawn; once the dispatcher popped the record the attempt
+        returns False and the job runs to completion.  A successful
+        cancellation resolves the handle with a ``CANCELLED``
+        :class:`~repro.service.job.JobResult` (carrying
+        :class:`~repro.errors.JobCancelled`, never raising it) and
+        releases the tenant's admission slot like any other completion.
+        """
+        if not self._wfq.remove(rec.job.tenant, rec):
+            return False
+        self.metrics.inc("service_jobs_cancelled", tenant=rec.job.tenant)
+        self.metrics.set_gauge("service_queue_depth", float(len(self._wfq)))
+        self._resolve(
+            rec,
+            JobResult(
+                job=rec.job,
+                state=JobState.CANCELLED,
+                result=None,
+                error=JobCancelled(
+                    f"job (tenant {rec.job.tenant!r}, tag {rec.job.tag!r}) "
+                    "was cancelled while queued"
+                ),
+                backend=_backend_name(self.backend),
+                submitted_at=rec.submitted_at,
+                started_at=rec.submitted_at,
+                finished_at=self._clock(),
+                metrics=rec.registry,
+            ),
+        )
+        return True
 
     def _resolve(self, rec: _Pending, outcome: JobResult) -> None:
         self._admission.release(rec.job.tenant)

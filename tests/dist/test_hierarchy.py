@@ -1,0 +1,122 @@
+"""Property tests for the node -> device hierarchical decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dist import Block, Cyclic, DimDistribution, Full
+from repro.dist.hierarchy import (
+    HierarchicalPartition,
+    hierarchical_partition,
+    node_shards,
+)
+from repro.errors import DistributionError
+from repro.util.ranges import IterRange
+
+
+regions = st.builds(
+    lambda start, length: IterRange(start, start + length),
+    st.integers(0, 1000),
+    st.integers(0, 5000),
+)
+
+
+class TestNodeShards:
+    @given(region=regions, n_nodes=st.integers(1, 17))
+    def test_property_exact_cover(self, region, n_nodes):
+        shards = node_shards(region, n_nodes)
+        assert len(shards) == n_nodes
+        assert sum(len(s) for s in shards) == len(region)
+        # Contiguous and ordered: each shard starts where the last ended.
+        cursor = region.start
+        for s in shards:
+            assert s.start == cursor
+            cursor = s.stop
+        assert cursor == region.stop
+
+    @given(
+        region=regions,
+        weights=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=9),
+    )
+    def test_property_weighted_exact_cover(self, region, weights):
+        shards = node_shards(region, len(weights), weights=weights)
+        assert sum(len(s) for s in shards) == len(region)
+
+    def test_bad_node_count_rejected(self):
+        with pytest.raises(DistributionError):
+            node_shards(IterRange(0, 10), 0)
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            node_shards(IterRange(0, 10), 3, weights=[1.0, 2.0])
+
+
+class TestHierarchicalPartition:
+    @given(
+        region=regions,
+        device_counts=st.lists(st.integers(1, 8), min_size=1, max_size=6),
+        policy=st.sampled_from([Block(), Cyclic()]),
+    )
+    def test_property_two_level_exact_cover(self, region, device_counts, policy):
+        hp = hierarchical_partition(region, device_counts, intra_policy=policy)
+        assert hp.n_nodes == len(device_counts)
+        covered = sorted(
+            i for r in hp.flat_ranges() for i in range(r.start, r.stop)
+        )
+        assert covered == list(range(region.start, region.stop))
+
+    @given(
+        region=regions,
+        ndev=st.integers(1, 12),
+        policy=st.sampled_from([Block(), Cyclic()]),
+    )
+    def test_property_single_node_degenerates_to_flat_split(
+        self, region, ndev, policy
+    ):
+        """One node with N devices == today's flat DimDistribution."""
+        hp = hierarchical_partition(region, [ndev], intra_policy=policy)
+        assert hp.node_shards == (region,)
+        flat = policy.split(region, ndev)
+        assert [list(per_dev) for per_dev in hp.device_parts[0]] == [
+            list(ranges) for ranges in flat
+        ]
+        # And DimDistribution accepts the same parts as an exact cover.
+        dist = DimDistribution(
+            region=region,
+            parts=tuple(tuple(r) for r in flat),
+            policy=policy,
+        )
+        assert dist.parts == hp.device_parts[0]
+
+    def test_full_policy_rejected(self):
+        with pytest.raises(DistributionError, match="replicat|runtime|cover"):
+            hierarchical_partition(IterRange(0, 100), [2, 2], intra_policy=Full())
+
+    def test_runtime_policies_rejected(self):
+        from repro.dist import Align, Auto
+
+        for policy in (Align("loop"), Auto()):
+            with pytest.raises(DistributionError, match="runtime"):
+                hierarchical_partition(
+                    IterRange(0, 100), [2, 2], intra_policy=policy
+                )
+
+    def test_empty_device_count_rejected(self):
+        with pytest.raises(DistributionError):
+            hierarchical_partition(IterRange(0, 100), [])
+        with pytest.raises(DistributionError):
+            hierarchical_partition(IterRange(0, 100), [2, 0])
+
+    def test_bad_cover_rejected_by_dataclass(self):
+        with pytest.raises(DistributionError, match="covers"):
+            HierarchicalPartition(
+                region=IterRange(0, 10),
+                node_shards=(IterRange(0, 10),),
+                device_parts=(((IterRange(0, 4),),),),
+            )
+
+    def test_weighted_nodes_bias_shards(self):
+        hp = hierarchical_partition(
+            IterRange(0, 900), [1, 1], weights=[2.0, 1.0]
+        )
+        assert len(hp.node_shards[0]) == 600
+        assert len(hp.node_shards[1]) == 300

@@ -142,3 +142,55 @@ class TestMachineFile:
     def test_bad_device_dict_raises(self):
         with pytest.raises(MachineSpecError):
             DeviceSpec.from_dict({"name": "x"})
+
+
+class TestUnknownKeys:
+    """Regression: a typo'd key in a machine file produced a bare
+    ``TypeError`` from the dataclass constructor; it now raises
+    :class:`MachineSpecError` naming the key and the file."""
+
+    def test_unknown_machine_key_named(self, tmp_path):
+        path = tmp_path / "machine.json"
+        d = full_node().to_dict()
+        d["devcies"] = d.pop("devices")
+        import json
+        path.write_text(json.dumps(d))
+        with pytest.raises(MachineSpecError) as exc:
+            MachineSpec.from_file(path)
+        assert "devcies" in str(exc.value)
+        assert str(path) in str(exc.value)
+
+    def test_unknown_device_key_named(self, tmp_path):
+        path = tmp_path / "machine.json"
+        d = full_node().to_dict()
+        d["devices"][0]["gflops"] = 1.0
+        import json
+        path.write_text(json.dumps(d))
+        with pytest.raises(MachineSpecError) as exc:
+            MachineSpec.from_file(path)
+        assert "gflops" in str(exc.value)
+        assert str(path) in str(exc.value)
+
+    def test_unknown_link_key_named(self, tmp_path):
+        path = tmp_path / "machine.json"
+        d = full_node().to_dict()
+        for dev in d["devices"]:
+            if dev.get("link"):
+                dev["link"]["bandwith_gbs"] = dev["link"].pop("bandwidth_gbs")
+                break
+        import json
+        path.write_text(json.dumps(d))
+        with pytest.raises(MachineSpecError) as exc:
+            MachineSpec.from_file(path)
+        assert "bandwith_gbs" in str(exc.value)
+
+    def test_unknown_key_without_source_still_typed(self):
+        d = full_node().to_dict()
+        d["extra"] = 1
+        with pytest.raises(MachineSpecError, match="extra"):
+            MachineSpec.from_dict(d)
+
+    def test_known_keys_unaffected(self, tmp_path):
+        path = tmp_path / "machine.json"
+        full_node().to_file(path)
+        assert MachineSpec.from_file(path) == full_node()

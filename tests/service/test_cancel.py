@@ -1,0 +1,313 @@
+"""Queued-job cancellation and client-side admission retry/backoff.
+
+``submit`` runs synchronously to its return (no awaits after the queue
+push), so a ``handle.cancel()`` issued before the caller yields control
+deterministically finds the job still queued — the dispatcher only gets
+to pop it on the next event-loop turn.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionError, JobCancelled
+from repro.service import (
+    JobHandle,
+    JobState,
+    OffloadJob,
+    OffloadService,
+    TenantQuota,
+    WeightedFairQueue,
+    WorkloadTemplate,
+    retry_submit,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+TMPL = WorkloadTemplate("axpy", 512, seed=1)
+
+
+def job(**kw) -> OffloadJob:
+    return OffloadJob(TMPL, policy="BLOCK", seed=1, **kw)
+
+
+# -- cancelling a queued job --------------------------------------------------
+
+def test_cancel_queued_resolves_with_cancelled_result(gpu4):
+    async def main():
+        async with OffloadService(gpu4, use_cache=False) as svc:
+            h = await svc.submit(job(tag="victim"))
+            assert h.cancel() is True
+            res = await h  # resolves immediately, never raises
+            counts = {
+                name: svc.metrics.counter_value(name, tenant=res.job.tenant)
+                for name in (
+                    "service_jobs_cancelled",
+                    "service_jobs_completed",
+                )
+            }
+            counts["service_engine_runs"] = svc.metrics.counter_value(
+                "service_engine_runs"
+            )
+        return res, counts
+
+    res, counts = asyncio.run(main())
+    assert res.state is JobState.CANCELLED
+    assert res.cancelled and not res.ok
+    assert res.result is None
+    assert isinstance(res.error, JobCancelled)
+    with pytest.raises(JobCancelled):
+        res.unwrap()
+    assert counts["service_jobs_cancelled"] == 1.0
+    # The job never reached an engine: no runs, no completions.
+    assert counts["service_engine_runs"] == 0.0
+    assert counts["service_jobs_completed"] == 0.0
+
+
+def test_cancel_after_completion_returns_false(gpu4):
+    async def main():
+        async with OffloadService(gpu4, use_cache=False) as svc:
+            h = await svc.submit(job())
+            res = await h
+            return res, h.cancel()
+
+    res, cancelled = asyncio.run(main())
+    assert res.ok
+    assert cancelled is False
+
+
+def test_double_cancel_returns_false(gpu4):
+    async def main():
+        async with OffloadService(gpu4, use_cache=False) as svc:
+            h = await svc.submit(job())
+            first = h.cancel()
+            second = h.cancel()
+            await h
+        return first, second
+
+    assert asyncio.run(main()) == (True, False)
+
+
+def test_handle_without_service_cannot_cancel():
+    async def main():
+        loop = asyncio.get_running_loop()
+        h = JobHandle(job(), loop.create_future(), submitted_at=0.0)
+        return h.cancel()
+
+    assert asyncio.run(main()) is False
+
+
+def test_cancel_releases_tenant_in_flight_slot(gpu4):
+    """A cancelled job frees its admission slot like any completion."""
+
+    async def main():
+        async with OffloadService(
+            gpu4,
+            use_cache=False,
+            default_quota=TenantQuota(max_in_flight=1),
+        ) as svc:
+            h1 = await svc.submit(job(tag="a"))
+            with pytest.raises(AdmissionError) as exc:
+                await svc.submit(job(tag="b"))
+            assert exc.value.reason == "in_flight"
+            assert h1.cancel() is True
+            # The slot is free again before any event-loop turn.
+            h3 = await svc.submit(job(tag="c"))
+            r1 = await h1
+            r3 = await h3
+        return r1, r3
+
+    r1, r3 = asyncio.run(main())
+    assert r1.cancelled
+    assert r3.ok
+
+
+def test_dispatched_job_cannot_be_cancelled(gpu4):
+    async def main():
+        async with OffloadService(
+            gpu4, pool_size=1, coalesce=False, use_cache=False
+        ) as svc:
+            h = await svc.submit(job())
+            await asyncio.sleep(0)  # let the dispatcher claim the job
+            late = h.cancel()
+            res = await h
+        return late, res
+
+    late, res = asyncio.run(main())
+    assert late is False
+    assert res.ok
+
+
+# -- WeightedFairQueue.remove -------------------------------------------------
+
+class TestWeightedFairQueueRemove:
+    def test_remove_is_identity_match(self):
+        q = WeightedFairQueue()
+        a, b = object(), object()
+        q.push("t", a)
+        q.push("t", b)
+        assert q.remove("t", a) is True
+        assert len(q) == 1
+        _, item = q.pop()
+        assert item is b
+
+    def test_remove_missing_item_returns_false(self):
+        q = WeightedFairQueue()
+        q.push("t", "queued")
+        assert q.remove("t", "other") is False
+        assert q.remove("unknown-tenant", "queued") is False
+        assert len(q) == 1
+
+    def test_remove_charges_no_fair_share_pass(self):
+        """Cancelling queued work must not count as being served."""
+        q = WeightedFairQueue()
+        items = [object() for _ in range(3)]
+        for it in items:
+            q.push("a", it)
+        q.push("b", "b0")
+        assert q.remove("a", items[0]) and q.remove("a", items[1])
+        # Had the removals charged a's pass (2 units), b would now be
+        # ahead; since they don't, the (pass, name) tie-break still
+        # serves a first.
+        assert q.pop() == ("a", items[2])
+        assert q.pop() == ("b", "b0")
+
+
+# -- retry_submit -------------------------------------------------------------
+
+class StubService:
+    """submit() rejects with the scripted retry hints, then admits."""
+
+    def __init__(self, hints):
+        self.hints = list(hints)
+        self.calls = 0
+
+    async def submit(self, job):
+        self.calls += 1
+        if self.hints:
+            raise AdmissionError(
+                "over quota", reason="rate",
+                retry_after_s=self.hints.pop(0),
+            )
+        return "handle"
+
+
+def recording_sleep(record):
+    async def sleep(dt):
+        record.append(dt)
+    return sleep
+
+
+def test_retry_submit_honours_retry_after_hint():
+    svc, waits = StubService([0.25]), []
+
+    async def main():
+        return await retry_submit(
+            svc, job(), min_backoff_s=0.001, sleep=recording_sleep(waits)
+        )
+
+    assert asyncio.run(main()) == "handle"
+    assert svc.calls == 2
+    assert waits == [0.25]  # the hint dominates the tiny backoff floor
+
+
+def test_retry_submit_exponential_floor_when_hints_are_useless():
+    svc, waits = StubService([0.0, 0.0, 0.0]), []
+
+    async def main():
+        return await retry_submit(
+            svc, job(), min_backoff_s=0.01, sleep=recording_sleep(waits)
+        )
+
+    asyncio.run(main())
+    assert waits == [0.01, 0.02, 0.04]
+
+
+def test_retry_submit_caps_waits():
+    svc, waits = StubService([5.0]), []
+
+    async def main():
+        return await retry_submit(
+            svc, job(), max_backoff_s=0.5, sleep=recording_sleep(waits)
+        )
+
+    asyncio.run(main())
+    assert waits == [0.5]
+
+
+def test_retry_submit_raises_after_exhausting_attempts():
+    svc, waits = StubService([0.1] * 10), []
+
+    async def main():
+        await retry_submit(svc, job(), attempts=3, sleep=recording_sleep(waits))
+
+    with pytest.raises(AdmissionError):
+        asyncio.run(main())
+    assert svc.calls == 3
+    assert len(waits) == 2  # no sleep after the final rejection
+
+
+def test_retry_submit_propagates_other_errors_immediately():
+    class Broken:
+        async def submit(self, job):
+            raise RuntimeError("boom")
+
+    waits = []
+
+    async def main():
+        await retry_submit(Broken(), job(), sleep=recording_sleep(waits))
+
+    with pytest.raises(RuntimeError, match="boom"):
+        asyncio.run(main())
+    assert waits == []
+
+
+def test_retry_submit_validates_arguments():
+    with pytest.raises(ValueError):
+        asyncio.run(retry_submit(StubService([]), job(), attempts=0))
+    with pytest.raises(ValueError):
+        asyncio.run(retry_submit(
+            StubService([]), job(), min_backoff_s=0.5, max_backoff_s=0.1
+        ))
+
+
+def test_retry_submit_end_to_end_against_rate_quota(gpu4):
+    """The real token bucket's exact hint drives one successful retry."""
+    clock = FakeClock()
+    waits = []
+
+    async def main():
+        async with OffloadService(
+            gpu4,
+            use_cache=False,
+            clock=clock,
+            default_quota=TenantQuota(rate=1.0, burst=1, max_in_flight=8),
+        ) as svc:
+            async def sleep(dt):
+                waits.append(dt)
+                clock.advance(dt)
+                await asyncio.sleep(0)
+
+            h1 = await svc.submit(job(tag="a"))
+            h2 = await retry_submit(
+                svc, job(tag="b"), max_backoff_s=2.0, sleep=sleep
+            )
+            r1 = await h1
+            r2 = await h2
+        return r1, r2
+
+    r1, r2 = asyncio.run(main())
+    assert r1.ok and r2.ok
+    # One rejection, slept exactly until the next token (1 job/s bucket).
+    assert len(waits) == 1
+    assert waits[0] == pytest.approx(1.0)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The offload IR end to end: lower, rewrite, fuse, measure elision.
+
+Two dependent BLAS loops — ``y = A @ x`` then ``y += alpha * x`` — share
+their host arrays.  Lowered one at a time they each pay the PCIe bus;
+lowered together, the ``fuse-adjacent-offloads`` pass groups them under
+one implicit target-data region and the residency ledger elides the
+second loop's inbound traffic.  The program listing, the fused grouping
+and the elided byte count are all printed; numerics are verified against
+NumPy either way.
+
+Run:  python examples/ir_fusion.py
+"""
+
+import numpy as np
+
+from repro import HompRuntime, gpu4_node
+from repro.apps.blas_chain import two_kernel_chain
+from repro.ir.lower import from_directives
+from repro.ir.passes import run_passes
+
+N = 4_000
+
+
+def main() -> None:
+    pairs, reference = two_kernel_chain(N, alpha=0.5, seed=3)
+    program = from_directives(pairs)
+    print("lowered program:")
+    print(program.describe())
+
+    fused = run_passes(program)  # normalize-maps, derive-halo, fusion
+    print("\nafter the default pass pipeline:")
+    print(fused.describe())
+
+    runtime = HompRuntime(gpu4_node())
+    results = runtime.run_program(program)
+    y_fused = pairs[1][1].arrays["y"].copy()
+    assert np.allclose(y_fused, reference["y"])
+    elided = sum(r.meta["residency"]["bytes_elided"] for r in results)
+    region_s = results[0].meta["fusion"]["region_time_s"]
+    print(f"\nfused:   {region_s * 1e3:8.3f} ms, "
+          f"{elided / 1e6:.2f} MB elided (x and y stay resident)")
+
+    pairs2, _ = two_kernel_chain(N, alpha=0.5, seed=3)
+    plain = HompRuntime(gpu4_node()).run_program(
+        from_directives(pairs2), passes=()
+    )
+    y_plain = pairs2[1][1].arrays["y"]
+    assert np.array_equal(y_fused, y_plain)  # fusion never changes numerics
+    plain_s = sum(r.total_time_s for r in plain)
+    print(f"unfused: {plain_s * 1e3:8.3f} ms, 0.00 MB elided "
+          f"(every loop re-pays its transfers)")
+    print("checksums identical fused vs unfused — "
+          f"sum(y) = {float(y_fused.sum()):.6f}")
+
+
+if __name__ == "__main__":
+    main()

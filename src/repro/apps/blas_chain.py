@@ -28,7 +28,13 @@ from repro.runtime.data_env import TargetDataRegion
 from repro.runtime.runtime import HompRuntime
 from repro.util.ranges import IterRange
 
-__all__ = ["BlasChain", "BlasChainResult", "PowerIteration", "PowerIterationResult"]
+__all__ = [
+    "BlasChain",
+    "BlasChainResult",
+    "PowerIteration",
+    "PowerIterationResult",
+    "two_kernel_chain",
+]
 
 
 class _ChainMatVec(LoopKernel):
@@ -116,6 +122,37 @@ class _ChainSum(LoopKernel):
 
     def reference(self):
         return float(self._initial["y"].sum())
+
+
+def two_kernel_chain(
+    n: int, *, alpha: float = 0.5, seed: int = 0
+) -> tuple[list[tuple[str, LoopKernel]], dict[str, np.ndarray]]:
+    """A two-offload (directive, kernel) chain sharing ``x`` and ``y``.
+
+    The matvec writes ``y = A @ x``; the axpy then updates
+    ``y += alpha * x`` in place.  Both kernels bind the *same* host
+    arrays, so lowering the pair through
+    :func:`repro.ir.lower.from_directives` and running the
+    ``fuse-adjacent-offloads`` pass yields one fused data environment in
+    which ``x`` crosses the bus once and the intermediate ``y`` never
+    round-trips — the ledger's ``bytes_elided`` makes that measurable.
+
+    Returns the ordered (directive, kernel) pairs and the reference
+    result ``{"y": A @ x + alpha * x}``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    x = rng.standard_normal(n)
+    y = np.zeros(n)
+    directive = "#pragma omp parallel target device(*)"
+    pairs = [
+        (directive, _ChainMatVec(a, x, y)),
+        (directive, _ChainAxpy(x, y, alpha)),
+    ]
+    reference = {"y": a @ x + float(alpha) * x}
+    return pairs, reference
 
 
 @dataclass

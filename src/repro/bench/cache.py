@@ -35,6 +35,7 @@ from typing import Any, Mapping
 from repro import __version__
 from repro.engine.batch import BATCH_VERSION
 from repro.engine.core import CORE_VERSION
+from repro.ir.ops import IR_VERSION
 from repro.memory.residency import DATA_VERSION
 from repro.engine.trace import OffloadResult
 from repro.faults.plan import FaultPlan, faults_enabled
@@ -111,6 +112,10 @@ def result_key(
         # Batch-backend results are bit-identical to virtual ones and share
         # their keys; any change that could perturb them bumps this.
         "batch": BATCH_VERSION,
+        # Directives execute through the offload IR (lower + passes); any
+        # lowering or pass-semantics change that could perturb a lowered
+        # program's results bumps IR_VERSION.
+        "ir": IR_VERSION,
         "machine": machine.to_dict(),
         "workload": dict(workload_fp),
         "policy": str(policy),

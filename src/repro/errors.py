@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "HompError",
     "DirectiveSyntaxError",
+    "IRVerifyError",
     "MachineSpecError",
     "DeviceError",
     "MappingError",
@@ -47,6 +48,15 @@ class DirectiveSyntaxError(HompError, ValueError):
             where = f" at position {position}" if position is not None else ""
             message = f"{message}{where}: {text!r}"
         super().__init__(message)
+
+
+class IRVerifyError(HompError, ValueError):
+    """A lowered offload program failed IR verification.
+
+    Raised when an op is structurally malformed (unknown array, policy
+    rank mismatch, negative halo, ...) or when a rewrite pass meets
+    irreconcilable inputs (conflicting partition policies on one array).
+    """
 
 
 class MachineSpecError(HompError, ValueError):

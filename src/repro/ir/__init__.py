@@ -1,0 +1,63 @@
+"""repro.ir — the typed offload IR (ROADMAP item 5b).
+
+One front-end path: ``parse_directive -> lower -> verify -> passes ->
+execute``.  Directives lower (:mod:`repro.ir.lower`) into an immutable
+:class:`Program` of typed ops (:mod:`repro.ir.ops`), the verifier
+(:mod:`repro.ir.verify`) checks it, the rewrite passes
+(:mod:`repro.ir.passes`) normalise maps, derive halo exchanges
+symbolically and fuse adjacent offloads, and
+:meth:`repro.runtime.runtime.HompRuntime.run_program` executes the
+result.  See ``docs/IR.md`` for the op vocabulary, verifier rules and
+fusion legality conditions.
+"""
+
+from repro.ir.lower import data_region, decl_for, from_directive, from_directives
+from repro.ir.ops import (
+    IR_VERSION,
+    Bound,
+    DataDecl,
+    Dim,
+    FusedOffloadOp,
+    HaloLeg,
+    HaloOp,
+    MapOp,
+    OffloadOp,
+    Program,
+    ReduceOp,
+    Region,
+)
+from repro.ir.passes import (
+    DEFAULT_PIPELINE,
+    PASSES,
+    derive_halo,
+    fuse_adjacent_offloads,
+    normalize_maps,
+    run_passes,
+)
+from repro.ir.verify import verify_program
+
+__all__ = [
+    "IR_VERSION",
+    "Bound",
+    "Dim",
+    "Region",
+    "DataDecl",
+    "MapOp",
+    "HaloLeg",
+    "HaloOp",
+    "ReduceOp",
+    "OffloadOp",
+    "FusedOffloadOp",
+    "Program",
+    "from_directive",
+    "from_directives",
+    "data_region",
+    "decl_for",
+    "verify_program",
+    "run_passes",
+    "normalize_maps",
+    "derive_halo",
+    "fuse_adjacent_offloads",
+    "DEFAULT_PIPELINE",
+    "PASSES",
+]

@@ -1,0 +1,218 @@
+"""Lowering: parsed HOMP directives + kernels -> the typed offload IR.
+
+The front-end seam (ROADMAP 5b): :func:`from_directive` turns one Fig. 2
+pragma and its bound kernel into a one-op :class:`~repro.ir.ops.Program`;
+:func:`from_directives` chains several into a multi-offload program the
+``fuse-adjacent-offloads`` pass can optimise; :func:`data_region` lowers
+a Fig. 3 ``target data`` directive into a program-scope map set a
+:class:`~repro.runtime.data_env.TargetDataRegion` is built from.
+
+Lowering preserves the directive path's semantics exactly:
+
+* map ``partition(...)`` entries naming a kernel array become
+  :attr:`~repro.ir.ops.OffloadOp.partition_overrides` (the runtime applies
+  them via ``set_partition`` before execution, and they persist on the
+  kernel afterwards, as they always have);
+* the schedule comes from an explicit override, else the directive's
+  ``dist_schedule(target:[...])`` head policy, else ``"AUTO"``;
+* without the ``parallel target`` composite the offload serialises
+  (paper §III.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.dist.policy import Full, Policy
+from repro.errors import DeviceError, SchedulingError
+from repro.ir.ops import (
+    DataDecl,
+    MapOp,
+    OffloadOp,
+    Program,
+    ReduceOp,
+    Region,
+)
+from repro.kernels.base import LoopKernel
+from repro.lang.pragma import OffloadDirective, parse_directive
+
+__all__ = ["from_directive", "from_directives", "data_region", "decl_for"]
+
+
+def decl_for(name: str, arr: np.ndarray) -> DataDecl:
+    """Geometry declaration for one host array."""
+    return DataDecl(
+        name=name,
+        shape=tuple(int(x) for x in arr.shape),
+        dtype=str(arr.dtype),
+        nbytes=int(arr.nbytes),
+    )
+
+
+def _parse(directive: "str | OffloadDirective") -> tuple[OffloadDirective, str]:
+    if isinstance(directive, str):
+        return parse_directive(directive), directive
+    return directive, ""
+
+
+def _lower_one(
+    d: OffloadDirective,
+    kernel: LoopKernel,
+    *,
+    schedule=None,
+) -> tuple[tuple[DataDecl, ...], OffloadOp]:
+    overrides = tuple(
+        (m.name, m.policies[0])
+        for m in d.maps
+        if m.name in kernel.arrays and m.policies
+    )
+    override_by_name = dict(overrides)
+
+    maps = []
+    decls = []
+    for m in kernel.effective_maps():
+        policies = m.policies
+        override = override_by_name.get(m.name)
+        if override is not None:
+            policies = (override, *policies[1:])
+        maps.append(
+            MapOp(
+                array=m.name,
+                direction=m.direction,
+                policies=policies,
+                halo=m.halo,
+                region=Region.for_map(policies, m.halo),
+            )
+        )
+        decls.append(decl_for(m.name, kernel.arrays[m.name]))
+
+    if schedule is None:
+        if d.dist_schedule is not None:
+            schedule = d.dist_schedule.policies[0]
+        else:
+            schedule = "AUTO"
+
+    reduce_op = None
+    if kernel.is_reduction:
+        reduce_op = ReduceOp(
+            op=d.reduction[0] if d.reduction else "+",
+            var=d.reduction[1] if d.reduction else None,
+        )
+
+    op = OffloadOp(
+        kernel=kernel,
+        label=kernel.label,
+        n_iters=kernel.n_iters,
+        schedule=schedule,
+        devices=d.device_clause if d.device_clause else None,
+        maps=tuple(maps),
+        reduce=reduce_op,
+        collapse=d.collapse,
+        serialize_offload=not d.is_parallel_target,
+        partition_overrides=overrides,
+    )
+    return tuple(decls), op
+
+
+def _merge_decls(
+    into: dict[str, DataDecl], decls: Iterable[DataDecl]
+) -> None:
+    from repro.errors import IRVerifyError
+
+    for decl in decls:
+        prior = into.get(decl.name)
+        if prior is None:
+            into[decl.name] = decl
+        elif prior != decl:
+            raise IRVerifyError(
+                f"array {decl.name!r} declared with conflicting geometry: "
+                f"{prior.shape}/{prior.dtype} vs {decl.shape}/{decl.dtype}"
+            )
+
+
+def from_directive(
+    directive: "str | OffloadDirective",
+    kernel: LoopKernel,
+    *,
+    schedule=None,
+) -> Program:
+    """Lower one directive + kernel into a single-offload program.
+
+    ``schedule`` overrides the directive's ``dist_schedule`` (the
+    ``offload(..., schedule=...)`` escape hatch).
+    """
+    d, source = _parse(directive)
+    decls, op = _lower_one(d, kernel, schedule=schedule)
+    merged: dict[str, DataDecl] = {}
+    _merge_decls(merged, decls)
+    return Program(
+        decls=tuple(merged.values()),
+        ops=(op,),
+        source=(source,) if source else (),
+    )
+
+
+def from_directives(
+    pairs: "Iterable[tuple[str | OffloadDirective, LoopKernel]]",
+) -> Program:
+    """Lower an ordered (directive, kernel) sequence into one program.
+
+    The resulting ops run back to back; the fusion pass may group
+    adjacent compatible ones under a shared data environment.
+    """
+    merged: dict[str, DataDecl] = {}
+    ops = []
+    sources = []
+    for directive, kernel in pairs:
+        d, source = _parse(directive)
+        decls, op = _lower_one(d, kernel)
+        _merge_decls(merged, decls)
+        ops.append(op)
+        if source:
+            sources.append(source)
+    return Program(
+        decls=tuple(merged.values()),
+        ops=tuple(ops),
+        source=tuple(sources),
+    )
+
+
+def data_region(
+    directive: "str | OffloadDirective",
+    arrays: Mapping[str, np.ndarray],
+) -> Program:
+    """Lower a ``target data`` directive into a program-scope map set.
+
+    Scalars in the map clauses are skipped (they are trivially shared);
+    a non-scalar map naming an array absent from ``arrays`` raises
+    :class:`~repro.errors.DeviceError`, as the directive path always has.
+    """
+    d, source = _parse(directive)
+    if not d.is_data_region:
+        raise SchedulingError("directive is not a target data region")
+    merged: dict[str, DataDecl] = {}
+    region_maps = []
+    for m in d.maps:
+        if m.name not in arrays:
+            if m.is_scalar:
+                continue
+            raise DeviceError(f"target data maps unknown array {m.name!r}")
+        arr = arrays[m.name]
+        _merge_decls(merged, [decl_for(m.name, arr)])
+        region_maps.append(
+            MapOp(
+                array=m.name,
+                direction=m.direction,
+                policies=m.policies,
+                halo=m.halo,
+                region=Region.for_map(m.policies, m.halo),
+            )
+        )
+    return Program(
+        decls=tuple(merged.values()),
+        region_maps=tuple(region_maps),
+        region_devices=d.device_clause if d.device_clause else None,
+        source=(source,) if source else (),
+    )

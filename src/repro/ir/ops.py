@@ -1,0 +1,401 @@
+"""The typed offload IR: op vocabulary (ROADMAP item 5b).
+
+Directives (``repro.lang``) are *syntax*; kernels (``repro.kernels``) are
+*bodies*.  This module is the typed middle layer between them: a parsed
+pragma plus its kernel lower (``repro.ir.lower``) into a small immutable
+:class:`Program` of ops that the verifier checks, the rewrite passes
+(``repro.ir.passes``) optimise, and the runtime executes
+(:meth:`repro.runtime.runtime.HompRuntime.run_program`).
+
+Vocabulary:
+
+========== ==============================================================
+DataDecl   one named host array: shape, dtype, bytes (geometry only)
+MapOp      one ``map(dir: name partition(...) halo(lo,hi))`` with its
+           symbolic :class:`Region` footprint
+Region     per-dimension symbolic bounds over the loop chunk — what a
+           chunk ``[start, stop)`` touches of an array, before any chunk
+           is known (``concretize`` plugs real rows in)
+HaloOp     a boundary exchange derived from a partitioned map's halo;
+           :meth:`HaloOp.legs` computes who sends which rows to whom
+ReduceOp   the loop's reduction clause (op, variable)
+OffloadOp  one offloadable loop: kernel + schedule + devices + maps
+FusedOffloadOp
+           a back-to-back run of compatible OffloadOps sharing a data
+           environment (built by the fuse-adjacent-offloads pass)
+Program    an ordered sequence of offloads over a set of declarations,
+           plus optional program-scope ``region_maps`` (target data)
+========== ==============================================================
+
+Every node is a frozen dataclass: passes rewrite by building new nodes
+(``dataclasses.replace``), never by mutation.  The only deliberately
+non-value field is :attr:`OffloadOp.kernel` — the bound loop body, a live
+:class:`~repro.kernels.base.LoopKernel` the runtime executes.
+
+``IR_VERSION`` keys the sweep-cache fingerprint: any change to lowering,
+pass semantics or execution order that could perturb a cached
+:class:`~repro.engine.trace.OffloadResult` must bump it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dist.policy import Full, Policy
+from repro.errors import IRVerifyError
+from repro.memory.space import MapDirection
+from repro.util.ranges import IterRange
+
+__all__ = [
+    "IR_VERSION",
+    "Bound",
+    "Dim",
+    "Region",
+    "DataDecl",
+    "MapOp",
+    "HaloLeg",
+    "HaloOp",
+    "ReduceOp",
+    "OffloadOp",
+    "FusedOffloadOp",
+    "Program",
+]
+
+#: Joins the sweep-cache fingerprint (see ``repro.bench.cache``): bump on
+#: any IR change that could perturb lowered-program results.
+IR_VERSION = "1"
+
+_BASES = ("zero", "extent", "chunk_start", "chunk_stop")
+
+
+@dataclass(frozen=True)
+class Bound:
+    """One symbolic bound: an anchor plus an integer offset.
+
+    Anchors: ``zero``/``extent`` are the array dimension's edges;
+    ``chunk_start``/``chunk_stop`` are the loop chunk's edges (unknown
+    until the scheduler hands a device its rows).
+    """
+
+    base: str
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base not in _BASES:
+            raise IRVerifyError(
+                f"bound base must be one of {_BASES}, got {self.base!r}"
+            )
+
+    def resolve(self, rows: IterRange, extent: int) -> int:
+        if self.base == "zero":
+            anchor = 0
+        elif self.base == "extent":
+            anchor = extent
+        elif self.base == "chunk_start":
+            anchor = rows.start
+        else:
+            anchor = rows.stop
+        return anchor + self.offset
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return self.base
+        return f"{self.base}{self.offset:+d}"
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One dimension of a :class:`Region`: ``[lower, upper)``, clamped to
+    the array's ``[0, extent)`` on concretization."""
+
+    lower: Bound
+    upper: Bound
+
+    def __str__(self) -> str:
+        return f"[{self.lower}:{self.upper}]"
+
+
+@dataclass(frozen=True)
+class Region:
+    """Symbolic footprint of one mapped array under a loop chunk."""
+
+    dims: tuple[Dim, ...]
+
+    @classmethod
+    def for_map(
+        cls,
+        policies: tuple[Policy, ...],
+        halo: tuple[int, int],
+    ) -> "Region":
+        """The footprint a map clause implies.
+
+        Dim 0 of a partitioned map follows the chunk, grown by the halo;
+        every other (and every FULL) dimension covers its whole extent —
+        exactly :meth:`repro.kernels.base.LoopKernel.input_region`, but
+        stated symbolically before any chunk exists.
+        """
+        partitioned = bool(policies) and not isinstance(policies[0], Full)
+        dims = []
+        for d in range(len(policies)):
+            if d == 0 and partitioned:
+                dims.append(
+                    Dim(
+                        Bound("chunk_start", -halo[0]),
+                        Bound("chunk_stop", halo[1]),
+                    )
+                )
+            else:
+                dims.append(Dim(Bound("zero"), Bound("extent")))
+        return cls(dims=tuple(dims))
+
+    def concretize(
+        self, rows: IterRange, shape: tuple[int, ...]
+    ) -> tuple[IterRange, ...]:
+        """Plug a real chunk in: per-dim ranges clamped to ``[0, extent)``."""
+        if len(shape) != len(self.dims):
+            raise IRVerifyError(
+                f"region has {len(self.dims)} dims for a rank-{len(shape)} "
+                "array"
+            )
+        out = []
+        for dim, extent in zip(self.dims, shape):
+            lo = max(0, dim.lower.resolve(rows, extent))
+            hi = min(extent, dim.upper.resolve(rows, extent))
+            out.append(IterRange(lo, max(lo, hi)))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return "".join(str(d) for d in self.dims)
+
+
+@dataclass(frozen=True)
+class DataDecl:
+    """Geometry of one named host array in the program's data environment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    nbytes: int
+
+    @property
+    def rows(self) -> int:
+        """Dim-0 extent (the residency ledger's charging axis)."""
+        return int(self.shape[0]) if self.shape else 1
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per dim-0 index."""
+        rows = self.rows
+        return self.nbytes // rows if rows else 0
+
+
+@dataclass(frozen=True)
+class MapOp:
+    """One mapped array: direction, per-dim policies, halo, footprint."""
+
+    array: str
+    direction: MapDirection
+    policies: tuple[Policy, ...] = ()
+    halo: tuple[int, int] = (0, 0)
+    region: Region = field(default_factory=lambda: Region(dims=()))
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self.policies) and not isinstance(self.policies[0], Full)
+
+    @property
+    def is_scalar(self) -> bool:
+        return not self.policies
+
+
+@dataclass(frozen=True)
+class HaloLeg:
+    """One directed boundary transfer: ``rows`` of the array, src -> dst."""
+
+    src: int
+    dst: int
+    rows: IterRange
+
+
+@dataclass(frozen=True)
+class HaloOp:
+    """A boundary exchange for one partitioned array.
+
+    ``lower``/``upper`` are the halo widths below/above each device's
+    share.  The op is purely symbolic until :meth:`legs` is given a
+    concrete :class:`~repro.dist.distribution.DimDistribution`; the
+    runtime's :func:`repro.runtime.halo.plan_halo_op` then prices the legs
+    on a machine and routes them through the residency ledger.
+    """
+
+    array: str
+    lower: int
+    upper: int
+    row_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lower < 0 or self.upper < 0:
+            raise IRVerifyError(
+                f"halo widths must be >= 0, got ({self.lower}, {self.upper})"
+            )
+
+    @staticmethod
+    def _span(dist, devid: int) -> IterRange:
+        """Contiguous hull of a device's owned ranges (row-block dists)."""
+        ranges = dist.device_ranges(devid)
+        return IterRange(
+            min(r.start for r in ranges), max(r.stop for r in ranges)
+        )
+
+    def legs(self, dist) -> tuple[HaloLeg, ...]:
+        """Derive the exchange legs from the Region footprints.
+
+        A device owning span ``s`` needs the footprint
+        ``[s.start - lower, s.stop + upper)``; whatever falls outside its
+        own span must arrive from the adjacent owner.  For each adjacent
+        owner pair (a, b) that yields two legs: a sends b's lower-halo
+        rows (``footprint(b) \\ span(b)`` below, intersected with a's
+        span) and b sends a's upper-halo rows.  Devices owning nothing
+        take no part.
+        """
+        owners = [d for d in range(dist.ndev) if dist.device_size(d) > 0]
+        legs: list[HaloLeg] = []
+        for a, b in zip(owners, owners[1:]):
+            sa, sb = self._span(dist, a), self._span(dist, b)
+            # b's lower halo: rows below its span, served from a's span.
+            down = IterRange(sb.start - self.lower, sb.start).intersect(sa)
+            # a's upper halo: rows above its span, served from b's span.
+            up = IterRange(sa.stop, sa.stop + self.upper).intersect(sb)
+            if not down.empty:
+                legs.append(HaloLeg(src=a, dst=b, rows=down))
+            if not up.empty:
+                legs.append(HaloLeg(src=b, dst=a, rows=up))
+        return tuple(legs)
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """The loop's reduction: combining operator and directive variable."""
+
+    op: str = "+"
+    var: str | None = None
+
+
+@dataclass(frozen=True)
+class OffloadOp:
+    """One offloadable parallel loop, fully resolved.
+
+    ``kernel`` is the live loop body; everything else is the directive's
+    contribution, normalised: the schedule (a policy or Table II
+    notation), the device clause, the map set with symbolic regions, and
+    the ``partition(...)`` overrides the runtime must apply to the kernel
+    before execution (they outlive the call, as the directive path always
+    has).
+    """
+
+    kernel: object
+    label: str
+    n_iters: int
+    schedule: object = "AUTO"
+    devices: str | None = None
+    maps: tuple[MapOp, ...] = ()
+    halos: tuple[HaloOp, ...] = ()
+    reduce: ReduceOp | None = None
+    collapse: int | None = None
+    serialize_offload: bool = False
+    partition_overrides: tuple[tuple[str, Policy], ...] = ()
+
+    @property
+    def map_names(self) -> tuple[str, ...]:
+        return tuple(m.array for m in self.maps)
+
+
+@dataclass(frozen=True)
+class FusedOffloadOp:
+    """Compatible back-to-back offloads sharing one data environment.
+
+    Built by the ``fuse-adjacent-offloads`` pass; ``region_maps`` is the
+    merged environment (direction-unioned, policy-reconciled) the runtime
+    opens as a target-data region so the residency ledger elides the
+    members' intermediate traffic.
+    """
+
+    members: tuple[OffloadOp, ...]
+    region_maps: tuple[MapOp, ...]
+
+    @property
+    def devices(self) -> str | None:
+        return self.members[0].devices
+
+    @property
+    def n_iters(self) -> int:
+        return self.members[0].n_iters
+
+    @property
+    def serialize_offload(self) -> bool:
+        return self.members[0].serialize_offload
+
+
+@dataclass(frozen=True)
+class Program:
+    """A lowered directive sequence: declarations + offloads in order.
+
+    ``region_maps`` is non-empty only for ``target data`` programs — the
+    program-scope data environment a
+    :class:`~repro.runtime.data_env.TargetDataRegion` is built from.
+    """
+
+    decls: tuple[DataDecl, ...] = ()
+    region_maps: tuple[MapOp, ...] = ()
+    #: Device clause of the ``target data`` directive a region program
+    #: was lowered from (None = all devices).
+    region_devices: str | None = None
+    ops: tuple[OffloadOp | FusedOffloadOp, ...] = ()
+    #: Original directive texts, for provenance/debugging only.
+    source: tuple[str, ...] = ()
+
+    def decl(self, name: str) -> DataDecl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise IRVerifyError(f"no declaration for array {name!r}")
+
+    @property
+    def offloads(self) -> tuple[OffloadOp, ...]:
+        """All member offloads in execution order (fused groups flattened)."""
+        out: list[OffloadOp] = []
+        for op in self.ops:
+            if isinstance(op, FusedOffloadOp):
+                out.extend(op.members)
+            else:
+                out.append(op)
+        return tuple(out)
+
+    def describe(self) -> str:
+        """Human-readable program listing (examples print this)."""
+        lines = [f"program ({len(self.decls)} decls, {len(self.ops)} ops)"]
+        for d in self.decls:
+            lines.append(f"  decl {d.name}: {list(d.shape)} {d.dtype}")
+        for m in self.region_maps:
+            lines.append(
+                f"  region map({m.direction.value}: {m.array} "
+                f"partition[{', '.join(str(p) for p in m.policies)}])"
+            )
+        for op in self.ops:
+            members = op.members if isinstance(op, FusedOffloadOp) else (op,)
+            indent = "  "
+            if isinstance(op, FusedOffloadOp):
+                lines.append(
+                    f"  fused group over {{{', '.join(sorted({m.array for m in op.region_maps}))}}}"
+                )
+                indent = "    "
+            for m in members:
+                halos = "".join(
+                    f" halo({h.lower},{h.upper}):{h.array}" for h in m.halos
+                )
+                lines.append(
+                    f"{indent}offload {m.kernel.name}: {m.label}"
+                    f"[0:{m.n_iters}) schedule={m.schedule}"
+                    f" maps={{{', '.join(m.map_names)}}}{halos}"
+                )
+        return "\n".join(lines)

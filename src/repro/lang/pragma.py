@@ -126,6 +126,7 @@ def parse_directive(text: str) -> OffloadDirective:
     out = OffloadDirective(directives=tuple(directives))
 
     rest = pos_text.strip()
+    seen_clauses: set[str] = set()
     while rest:
         # Directive words may be interleaved with clauses, as in Fig. 3's
         # "... reduction(+:error) distribute dist_schedule(...)".
@@ -140,6 +141,13 @@ def parse_directive(text: str) -> OffloadDirective:
                 rest = after
                 continue
         head, clause_body, rest = _take_clause(rest)
+        # Every clause but map() may appear at most once — a second
+        # occurrence would silently overwrite the first, so name it.
+        if head != "map" and head in seen_clauses:
+            raise DirectiveSyntaxError(
+                f"duplicate {head!r} clause", text=text
+            )
+        seen_clauses.add(head)
         if head == "device":
             out.device_clause = f"({clause_body})"
         elif head == "map":

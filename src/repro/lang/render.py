@@ -43,11 +43,17 @@ def render_directive(d: OffloadDirective, *, pragma_prefix: bool = True) -> str:
     parts.extend(d.directives)
     if d.device_clause:
         parts.append(f"device{d.device_clause}")
-    # group maps by direction, preserving first-appearance order
-    by_dir: dict = {}
+    # Group *consecutive* same-direction maps into one clause.  Global
+    # by-direction grouping would reorder interleaved directions and
+    # break the parse -> render -> parse round trip, which must
+    # reproduce the map list exactly.
+    runs: list = []
     for m in d.maps:
-        by_dir.setdefault(m.direction, []).append(m)
-    for direction, items in by_dir.items():
+        if runs and runs[-1][0] is m.direction:
+            runs[-1][1].append(m)
+        else:
+            runs.append((m.direction, [m]))
+    for direction, items in runs:
         rendered = ", ".join(render_map(m) for m in items)
         parts.append(f"map({direction.value}: {rendered})")
     if d.reduction:

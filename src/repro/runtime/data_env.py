@@ -65,6 +65,39 @@ class TargetDataRegion:
         default_factory=list, init=False
     )
 
+    @classmethod
+    def from_ir(
+        cls,
+        runtime: HompRuntime,
+        map_ops,
+        arrays: dict[str, np.ndarray],
+        *,
+        devices=None,
+    ) -> "TargetDataRegion":
+        """Build a region from IR :class:`~repro.ir.ops.MapOp` entries.
+
+        ``map_ops`` is a program's ``region_maps`` (the lowered ``target
+        data`` directive) or a fused group's merged environment; ``arrays``
+        binds each mapped name to its host array.  An array is partitioned
+        when any of its policies is non-FULL, and its dim-0 policy drives
+        the placement plan — exactly the directive path's rules.
+        """
+        maps: dict[str, tuple[np.ndarray, MapDirection]] = {}
+        partitioned: set[str] = set()
+        policies: dict[str, Policy] = {}
+        for m in map_ops:
+            maps[m.array] = (arrays[m.array], m.direction)
+            if m.policies and not all(isinstance(p, Full) for p in m.policies):
+                partitioned.add(m.array)
+                policies[m.array] = m.policies[0]  # dim-0 placement policy
+        return cls(
+            runtime=runtime,
+            maps=maps,
+            devices=devices,
+            partitioned=frozenset(partitioned),
+            policies=policies,
+        )
+
     def _policy_for(self, name: str) -> Policy:
         pol = self.policies.get(name)
         if pol is not None:

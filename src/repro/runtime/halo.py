@@ -1,6 +1,6 @@
 """Halo exchange across devices (paper Fig. 3's ``#pragma omp halo_exchange``).
 
-With a row-block distribution, each device must refresh ``width`` boundary
+With a row-block distribution, each device must refresh its boundary
 rows from each neighbour every iteration.  Between discrete devices the
 bytes travel device -> host -> device (two link crossings; the paper's
 machine has no peer-to-peer path between its K80 cards and MICs);
@@ -9,6 +9,14 @@ the driver migrates on access rather than at exchange time — exchange
 for free.  The numeric ground truth lives in host arrays, so only the
 *cost* needs simulating — the plan records who sends what to whom and
 the virtual time the exchange adds.
+
+*Which* rows move is no longer decided here: the boundary legs are
+derived symbolically by :meth:`repro.ir.ops.HaloOp.legs` from the Region
+footprints (a device owning span ``s`` with halo ``(lo, hi)`` needs
+``[s.start - lo, s.stop + hi)``; whatever falls outside its span arrives
+from the adjacent owner).  This module is the IR op's runtime consumer:
+it prices the legs on a machine and routes them through the residency
+ledger.
 
 When the enclosing target-data region's residency view is passed in
 (``residency=`` + ``array=``), the plan consults the ledger: boundary
@@ -24,11 +32,12 @@ from dataclasses import dataclass
 
 from repro.dist.distribution import DimDistribution
 from repro.errors import DistributionError
+from repro.ir.ops import HaloOp
 from repro.machine.spec import MachineSpec, MemoryKind
 from repro.memory.residency import RegionResidency
 from repro.util.ranges import IterRange
 
-__all__ = ["HaloExchange", "plan_halo_exchange"]
+__all__ = ["HaloExchange", "plan_halo_exchange", "plan_halo_op"]
 
 
 @dataclass(frozen=True)
@@ -55,12 +64,6 @@ class HaloExchange:
         return sum(t.nbytes for t in self.transfers)
 
 
-def _span(dist: DimDistribution, devid: int) -> IterRange:
-    """Contiguous extent a device owns (row-block distributions)."""
-    ranges = dist.device_ranges(devid)
-    return IterRange(min(r.start for r in ranges), max(r.stop for r in ranges))
-
-
 def _crossing_time(spec, nbytes: int) -> float:
     """One link crossing for ``nbytes`` on ``spec``'s link.
 
@@ -73,70 +76,53 @@ def _crossing_time(spec, nbytes: int) -> float:
     return spec.link.transfer_time(nbytes)
 
 
-def plan_halo_exchange(
+def plan_halo_op(
     machine: MachineSpec,
     dist: DimDistribution,
+    op: HaloOp,
     *,
-    width: int,
-    row_bytes: int,
     residency: RegionResidency | None = None,
-    array: str | None = None,
 ) -> HaloExchange:
-    """Plan the boundary exchange for a contiguous row-block distribution.
+    """Price a symbolic :class:`~repro.ir.ops.HaloOp` on a machine.
 
-    Each adjacent owner pair exchanges ``width`` rows in both directions:
-    the lower owner's last ``width`` rows refresh the upper device and
-    vice versa.  Per-device time is the serial sum of its link crossings
-    (send up + send down + receive up + receive down); the exchange
+    The op's :meth:`~repro.ir.ops.HaloOp.legs` decide *which* rows move
+    between which adjacent owners; this function decides *what that
+    costs*: per-device time is the serial sum of its link crossings
+    (send up + send down + receive up + receive down) and the exchange
     completes when the slowest device is done, since all devices
     synchronise after it.
 
     With ``residency`` (a region's ledger view; device indices here are
-    local positions in its device list) and ``array`` (the ledger name of
-    the exchanged array), rows already valid on the receiver are elided
-    and delivered rows are marked resident.
+    local positions in its device list) and a named ``op.array``, rows
+    already valid on the receiver are elided and delivered rows are
+    marked resident.
     """
-    if width < 0:
-        raise DistributionError(f"halo width must be >= 0, got {width}")
     if dist.ndev != len(machine):
         raise DistributionError(
             f"distribution covers {dist.ndev} devices, machine has {len(machine)}"
         )
     track = (
         residency is not None
-        and array is not None
-        and residency.knows(array)
+        and bool(op.array)
+        and residency.knows(op.array)
     )
-    owners = [
-        d
-        for d in range(dist.ndev)
-        if dist.device_size(d) > 0
-    ]
     transfers: list[_Transfer] = []
     elided_bytes = 0
-    if width > 0 and row_bytes > 0:
-        for a, b in zip(owners, owners[1:]):
-            sa, sb = _span(dist, a), _span(dist, b)
-            # a's top rows refresh b; b's bottom rows refresh a.
-            legs = (
-                (a, b, IterRange(max(sa.start, sa.stop - width), sa.stop)),
-                (b, a, IterRange(sb.start, min(sb.stop, sb.start + width))),
+    if op.row_bytes > 0:
+        for leg in op.legs(dist):
+            src, dst, rows = leg.src, leg.dst, leg.rows
+            if track:
+                missing = residency.missing_in(dst, op.array, rows)
+                elided_bytes += op.row_bytes * (len(rows) - missing)
+                residency.mark_resident(dst, op.array, rows)
+                if missing == 0:
+                    continue  # receiver already holds the rows
+                nbytes = op.row_bytes * missing
+            else:
+                nbytes = op.row_bytes * len(rows)
+            transfers.append(
+                _Transfer(src=src, dst=dst, nbytes=nbytes, rows=rows)
             )
-            for src, dst, rows in legs:
-                if rows.empty:
-                    continue
-                if track:
-                    missing = residency.missing_in(dst, array, rows)
-                    elided_bytes += row_bytes * (len(rows) - missing)
-                    residency.mark_resident(dst, array, rows)
-                    if missing == 0:
-                        continue  # receiver already holds the rows
-                    nbytes = row_bytes * missing
-                else:
-                    nbytes = row_bytes * len(rows)
-                transfers.append(
-                    _Transfer(src=src, dst=dst, nbytes=nbytes, rows=rows)
-                )
 
     per_device = [0.0] * dist.ndev
     for t in transfers:
@@ -148,3 +134,31 @@ def plan_halo_exchange(
         time_s=max(per_device, default=0.0),
         elided_bytes=elided_bytes,
     )
+
+
+def plan_halo_exchange(
+    machine: MachineSpec,
+    dist: DimDistribution,
+    *,
+    width: int,
+    row_bytes: int,
+    residency: RegionResidency | None = None,
+    array: str | None = None,
+) -> HaloExchange:
+    """Plan a symmetric-width boundary exchange (the directive surface).
+
+    A thin wrapper: builds the equivalent :class:`~repro.ir.ops.HaloOp`
+    (``lower = upper = width``) and hands it to :func:`plan_halo_op`.
+    Kept as the public entry point for ``halo_exchange`` consumers
+    (Jacobi, the residency sweeps); new IR-driven callers price the
+    :class:`~repro.ir.ops.HaloOp` the derive-halo pass attached instead.
+    """
+    if width < 0:
+        raise DistributionError(f"halo width must be >= 0, got {width}")
+    op = HaloOp(
+        array=array or "",
+        lower=width,
+        upper=width,
+        row_bytes=row_bytes,
+    )
+    return plan_halo_op(machine, dist, op, residency=residency)

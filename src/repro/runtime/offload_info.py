@@ -94,6 +94,56 @@ class OffloadInfo:
             fault_plan=fault_plan,
         )
 
+    @classmethod
+    def from_ir(
+        cls,
+        op,
+        decls,
+        kernel: LoopKernel,
+        scheduler: LoopScheduler,
+        machine: MachineSpec,
+        device_ids: list[int],
+        *,
+        cutoff_ratio: float = 0.0,
+        serialize_offload: bool = False,
+        fault_plan: str | None = None,
+    ) -> "OffloadInfo":
+        """Build from a lowered :class:`~repro.ir.ops.OffloadOp`.
+
+        Map identity (name, direction, policies, halo) comes from the IR
+        op's :class:`~repro.ir.ops.MapOp` entries, array geometry from
+        ``decls`` (name -> :class:`~repro.ir.ops.DataDecl`); only the
+        residency flag is read from the live kernel, because an enclosing
+        target-data region sets it at execution time.  For a faithfully
+        lowered op the result is value-identical to :meth:`build`.
+        """
+        arrays = tuple(
+            ArrayInfo(
+                name=m.array,
+                shape=decls[m.array].shape,
+                dtype=decls[m.array].dtype,
+                nbytes=decls[m.array].nbytes,
+                direction=m.direction,
+                policies=tuple(str(p) for p in m.policies),
+                halo=m.halo,
+                resident=m.array in kernel.resident,
+            )
+            for m in op.maps
+        )
+        return cls(
+            kernel_name=kernel.name,
+            loop_label=op.label,
+            iter_space=IterRange(0, op.n_iters),
+            algorithm=scheduler.notation,
+            cutoff_ratio=cutoff_ratio,
+            device_ids=tuple(device_ids),
+            device_names=tuple(machine[i].name for i in device_ids),
+            arrays=arrays,
+            is_reduction=kernel.is_reduction,
+            serialize_offload=serialize_offload,
+            fault_plan=fault_plan,
+        )
+
     def to_dict(self) -> dict:
         return {
             "kernel": self.kernel_name,

@@ -27,9 +27,13 @@ from repro.engine.trace import OffloadResult
 from repro.errors import DeviceError, OffloadError, SchedulingError
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
+from repro.ir.lower import data_region, from_directive
+from repro.ir.ops import DataDecl, FusedOffloadOp, OffloadOp as IROffloadOp, Program
+from repro.ir.passes import normalize_maps, run_passes
+from repro.ir.verify import verify_program
 from repro.kernels.base import LoopKernel
 from repro.lang.device_spec import parse_device_clause
-from repro.lang.pragma import OffloadDirective, parse_directive
+from repro.lang.pragma import OffloadDirective
 from repro.machine.spec import MachineSpec
 from repro.memory.residency import RegionResidency, ResidencyLedger
 from repro.sched.align_sched import AlignedScheduler
@@ -169,6 +173,8 @@ class HompRuntime:
         tracer=None,
         executor: "str | type | None" = None,
         engine=None,
+        ir_op: "IROffloadOp | None" = None,
+        ir_decls: "dict[str, DataDecl] | None" = None,
         **sched_kwargs,
     ) -> OffloadResult:
         """Offload one parallel loop across the selected devices.
@@ -199,7 +205,11 @@ class HompRuntime:
         submachine, per-run options are applied through its ``configured``
         lease hook, and results are byte-identical to the engine this call
         would otherwise construct.  ``engine`` and ``executor`` are
-        mutually exclusive.
+        mutually exclusive.  ``ir_op``/``ir_decls`` — when the call comes
+        from :meth:`run_program`, the lowered
+        :class:`~repro.ir.ops.OffloadOp` and the program's declarations;
+        the :class:`~repro.runtime.offload_info.OffloadInfo` is then
+        constructed from the IR op (value-identical to the direct build).
         """
         ids = self.select_devices(devices)
         submachine = self.machine.subset(ids)
@@ -242,17 +252,32 @@ class HompRuntime:
         if resident is not None:
             kernel.resident = frozenset(resident)
         try:
-            info = OffloadInfo.build(
-                kernel,
-                scheduler,
-                self.machine,
-                ids,
-                cutoff_ratio=ratio,
-                serialize_offload=serialize_offload,
-                fault_plan=(
-                    fault_plan.describe() if fault_plan is not None else None
-                ),
-            )
+            if ir_op is not None:
+                info = OffloadInfo.from_ir(
+                    ir_op,
+                    ir_decls or {},
+                    kernel,
+                    scheduler,
+                    self.machine,
+                    ids,
+                    cutoff_ratio=ratio,
+                    serialize_offload=serialize_offload,
+                    fault_plan=(
+                        fault_plan.describe() if fault_plan is not None else None
+                    ),
+                )
+            else:
+                info = OffloadInfo.build(
+                    kernel,
+                    scheduler,
+                    self.machine,
+                    ids,
+                    cutoff_ratio=ratio,
+                    serialize_offload=serialize_offload,
+                    fault_plan=(
+                        fault_plan.describe() if fault_plan is not None else None
+                    ),
+                )
             with lease:
                 result = engine.run(kernel, scheduler, cutoff_ratio=ratio)
         finally:
@@ -444,52 +469,138 @@ class HompRuntime:
         Partitioned arrays (non-FULL dim-0 policy) are staged as one
         per-device share, replicated arrays in full.  Returns an *unopened*
         :class:`~repro.runtime.data_env.TargetDataRegion` (use ``with``).
+
+        The directive lowers through the IR first (``parse -> lower ->
+        verify -> normalize-maps``): duplicate map clauses of one array
+        merge into a single direction-unioned entry, and the region is
+        constructed from the resulting :class:`~repro.ir.ops.MapOp` set.
         """
         from repro.runtime.data_env import TargetDataRegion
 
-        d = parse_directive(directive) if isinstance(directive, str) else directive
-        if not d.is_data_region:
-            raise SchedulingError("directive is not a target data region")
-        maps: dict = {}
-        partitioned: set[str] = set()
-        policies: dict[str, Policy] = {}
-        for m in d.maps:
-            if m.name not in arrays:
-                if m.is_scalar:
-                    continue
-                raise DeviceError(f"target data maps unknown array {m.name!r}")
-            maps[m.name] = (arrays[m.name], m.direction)
-            if m.policies and not all(
-                type(p).__name__ == "Full" for p in m.policies
-            ):
-                partitioned.add(m.name)
-                policies[m.name] = m.policies[0]  # dim-0 placement policy
-        return TargetDataRegion(
-            runtime=self,
-            maps=maps,
-            devices=d.device_clause,
-            partitioned=frozenset(partitioned),
-            policies=policies,
+        program = verify_program(normalize_maps(data_region(directive, arrays)))
+        return TargetDataRegion.from_ir(
+            self,
+            program.region_maps,
+            dict(arrays),
+            devices=program.region_devices,
         )
+
+    def _run_offload_op(
+        self, op: IROffloadOp, decls: "dict[str, DataDecl]", **kwargs
+    ) -> OffloadResult:
+        """Execute one lowered offload, exactly as the directive path did:
+        partition overrides are applied to the kernel (and persist), the
+        schedule/devices/serialization come from the op."""
+        kernel = op.kernel
+        for name, pol in op.partition_overrides:
+            kernel.set_partition(name, pol)
+        # Without the `parallel target` composite, data distribution and
+        # offloading are performed by a single host thread (paper §III.4).
+        kwargs.setdefault("serialize_offload", op.serialize_offload)
+        return self.parallel_for(
+            kernel,
+            schedule=op.schedule,
+            devices=op.devices,
+            ir_op=op,
+            ir_decls=decls,
+            **kwargs,
+        )
+
+    def _run_fused_op(
+        self,
+        op: FusedOffloadOp,
+        decls: "dict[str, DataDecl]",
+        group: int,
+        **kwargs,
+    ) -> list[OffloadResult]:
+        """Execute a fused group inside one implicit target-data region.
+
+        The merged ``region_maps`` open a
+        :class:`~repro.runtime.data_env.TargetDataRegion`, so the
+        residency ledger holds every shared array across the members and
+        elides the intermediate transfers — each member's
+        ``meta["residency"]["bytes_elided"]`` reports what fusion saved.
+        """
+        from repro.runtime.data_env import TargetDataRegion
+
+        arrays = {}
+        for member in op.members:
+            for name in member.map_names:
+                arrays.setdefault(name, member.kernel.arrays[name])
+        region = TargetDataRegion.from_ir(
+            self, op.region_maps, arrays, devices=op.devices
+        )
+        results: list[OffloadResult] = []
+        with region:
+            for i, member in enumerate(op.members):
+                member_kwargs = dict(kwargs)
+                for name, pol in member.partition_overrides:
+                    member.kernel.set_partition(name, pol)
+                member_kwargs.setdefault(
+                    "serialize_offload", member.serialize_offload
+                )
+                result = region.parallel_for(
+                    member.kernel,
+                    schedule=member.schedule,
+                    ir_op=member,
+                    ir_decls=decls,
+                    **member_kwargs,
+                )
+                result.meta["fusion"] = {
+                    "group": group,
+                    "member": i,
+                    "arrays": sorted(arrays),
+                }
+                results.append(result)
+        for result in results:
+            result.meta["fusion"]["region_time_s"] = region.total_time_s
+        return results
+
+    def run_program(
+        self, program: Program, *, passes=None, **kwargs
+    ) -> list[OffloadResult]:
+        """Execute a lowered offload program: verify -> passes -> run.
+
+        The IR entry point (``docs/IR.md``): ``program`` comes from
+        :func:`repro.ir.lower.from_directive` /
+        :func:`~repro.ir.lower.from_directives`.  ``passes`` selects the
+        rewrite pipeline — ``None`` runs the default (normalize-maps,
+        derive-halo, fuse-adjacent-offloads), an empty tuple disables
+        rewriting.  Returns one :class:`~repro.engine.trace.OffloadResult`
+        per lowered offload, positionally aligned with the input ops
+        (fused groups contribute one result per member).  ``kwargs`` are
+        forwarded to every :meth:`parallel_for` call (tracer, executor,
+        cutoff_ratio, ...).
+
+        A single-offload program produces a result byte-identical to the
+        historical direct directive interpretation — pinned by the
+        differential suite in ``tests/ir/test_ir_differential.py``.
+        """
+        verify_program(program)
+        program = verify_program(run_passes(program, passes))
+        decls = {d.name: d for d in program.decls}
+        results: list[OffloadResult] = []
+        for group, op in enumerate(program.ops):
+            if isinstance(op, FusedOffloadOp):
+                results.extend(
+                    self._run_fused_op(op, decls, group, **dict(kwargs))
+                )
+            else:
+                results.append(
+                    self._run_offload_op(op, decls, **dict(kwargs))
+                )
+        return results
 
     def offload(self, directive: str | OffloadDirective, kernel: LoopKernel,
                 **kwargs) -> OffloadResult:
-        """Offload a kernel under a HOMP directive string (Fig. 2 style)."""
-        d = parse_directive(directive) if isinstance(directive, str) else directive
-        devices = d.device_clause if d.device_clause else None
+        """Offload a kernel under a HOMP directive string (Fig. 2 style).
 
-        # partition([...]) entries on maps override the kernel's policies.
-        for m in d.maps:
-            if m.name in kernel.arrays and m.policies:
-                kernel.set_partition(m.name, m.policies[0])
-
+        One front-end path: the directive lowers into a single-offload
+        :class:`~repro.ir.ops.Program` which runs through
+        :meth:`run_program` (verify -> passes -> execute).  Results are
+        byte-identical to the historical direct interpretation of the
+        directive.
+        """
         schedule = kwargs.pop("schedule", None)
-        if schedule is None:
-            if d.dist_schedule is not None:
-                schedule = d.dist_schedule.policies[0]
-            else:
-                schedule = "AUTO"
-        # Without the `parallel target` composite, data distribution and
-        # offloading are performed by a single host thread (paper §III.4).
-        kwargs.setdefault("serialize_offload", not d.is_parallel_target)
-        return self.parallel_for(kernel, schedule=schedule, devices=devices, **kwargs)
+        program = from_directive(directive, kernel, schedule=schedule)
+        return self.run_program(program, **kwargs)[0]

@@ -47,6 +47,19 @@ def test_key_is_stable():
     assert k1 == k2
 
 
+def test_key_sensitive_to_ir_version(monkeypatch):
+    # Lowering/pass-semantics changes perturb lowered-program results:
+    # IR_VERSION joins the fingerprint, so a bump invalidates old cells.
+    import repro.bench.cache as cache_mod
+
+    m = gpu4_node()
+    fp = WorkloadFactory("axpy").fingerprint()
+    kw = dict(cutoff_ratio=0.0, seed=0, verify=True)
+    base = result_key(m, fp, "BLOCK", **kw)
+    monkeypatch.setattr(cache_mod, "IR_VERSION", "test-bump")
+    assert result_key(m, fp, "BLOCK", **kw) != base
+
+
 def test_key_sensitive_to_machine():
     fp = WorkloadFactory("axpy").fingerprint()
     kw = dict(cutoff_ratio=0.0, seed=0, verify=True)

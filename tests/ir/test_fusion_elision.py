@@ -1,0 +1,117 @@
+"""Fusion elides intermediate transfers — the tentpole's measurable win.
+
+A two-kernel blas chain (matvec then axpy, sharing ``x`` and ``y``)
+lowered through ``from_directives`` and fused by the default pipeline
+runs inside one implicit target-data region: the residency ledger keeps
+the shared arrays on-device between the members, so the second offload's
+inbound traffic is elided.  The control arm (``passes=()``) runs the
+same chain unfused and pays full freight, with identical numerics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.blas_chain import two_kernel_chain
+from repro.ir.lower import from_directives
+from repro.ir.ops import FusedOffloadOp
+from repro.ir.passes import run_passes
+from repro.machine.presets import gpu4_node
+from repro.obs.tracer import Tracer
+from repro.runtime.runtime import HompRuntime
+
+N = 4_000
+
+
+def chain_results(*, passes=None, tracer=None, n=N):
+    pairs, reference = two_kernel_chain(n)
+    program = from_directives(pairs)
+    kwargs = {} if tracer is None else {"tracer": tracer}
+    results = HompRuntime(gpu4_node()).run_program(
+        program, passes=passes, **kwargs
+    )
+    y = pairs[1][1].arrays["y"]
+    return results, y, reference["y"]
+
+
+def test_default_pipeline_fuses_the_chain():
+    pairs, _ = two_kernel_chain(64)
+    program = run_passes(from_directives(pairs))
+    assert len(program.ops) == 1
+    assert isinstance(program.ops[0], FusedOffloadOp)
+
+
+def test_fused_chain_elides_bytes_and_tags_members():
+    results, y, expected = chain_results()
+    assert len(results) == 2
+    elided = 0.0
+    for i, r in enumerate(results):
+        assert r.meta["fusion"]["member"] == i
+        assert r.meta["fusion"]["group"] == 0
+        assert r.meta["fusion"]["arrays"] == ["A", "x", "y"]
+        assert r.meta["fusion"]["region_time_s"] > 0.0
+        elided += r.meta["residency"]["bytes_elided"]
+    # The axpy member re-reads x and y without re-paying the bus.
+    assert elided > 0.0
+    assert results[1].meta["residency"]["bytes_elided"] > 0.0
+    assert np.allclose(y, expected)
+
+
+def test_disabled_passes_run_unfused_and_pay_full_freight():
+    results, y, expected = chain_results(passes=())
+    assert len(results) == 2
+    for r in results:
+        assert "fusion" not in r.meta
+        # No region attached: the result layout matches the plain
+        # directive path (no residency key at all).
+        assert "residency" not in r.meta
+    assert np.allclose(y, expected)
+
+
+def test_fused_and_unfused_checksums_identical():
+    _, y_fused, expected = chain_results()
+    _, y_plain, _ = chain_results(passes=())
+    # Fusion changes transfer accounting only, never numerics: each row
+    # of y is computed by the same float ops either way.
+    assert np.array_equal(y_fused, y_plain)
+    assert float(y_fused.sum()) == float(y_plain.sum())
+    assert np.allclose(y_fused, expected)
+
+
+def test_obs_counters_report_elision():
+    tracer = Tracer()
+    chain_results(tracer=tracer)
+    elided = sum(
+        c.value for c in tracer.metrics.counters() if c.name == "bytes_elided"
+    )
+    moved = sum(
+        c.value for c in tracer.metrics.counters() if c.name == "bytes_moved"
+    )
+    assert elided > 0.0
+    # The region stages every array at entry (charged as map-in, not as
+    # per-chunk engine traffic), so the chunk-level moved counter is 0 —
+    # the same accounting the target-data region path pins.
+    assert moved == 0.0
+
+
+def test_obs_counters_silent_without_fusion():
+    tracer = Tracer()
+    chain_results(passes=(), tracer=tracer)
+    elided = sum(
+        c.value for c in tracer.metrics.counters() if c.name == "bytes_elided"
+    )
+    assert elided == 0.0
+
+
+def test_fused_offloads_pay_no_per_chunk_traffic():
+    # All data lives in the fused region for the whole group: neither
+    # member's offload moves bytes chunk by chunk (staging is the
+    # region's map-in), while the unfused control pays on every chunk.
+    results_fused, _, _ = chain_results()
+    for r in results_fused:
+        assert r.meta["residency"]["bytes_moved"] == 0.0
+    tracer = Tracer()
+    chain_results(passes=(), tracer=tracer)
+    plain_moved = sum(
+        c.value for c in tracer.metrics.counters() if c.name == "bytes_moved"
+    )
+    assert plain_moved > 0.0

@@ -121,3 +121,30 @@ def test_bad_collapse_rejected():
 def test_bad_reduction_rejected():
     with pytest.raises(DirectiveSyntaxError):
         parse_directive("omp parallel for reduction(error)")
+
+
+@pytest.mark.parametrize(
+    "text, clause",
+    [
+        ("omp parallel for distribute dist_schedule(target:[AUTO]) "
+         "dist_schedule(target:[BLOCK])", "dist_schedule"),
+        ("omp parallel for reduction(+:err) reduction(*:err)", "reduction"),
+        ("omp parallel for collapse(2) collapse(3)", "collapse"),
+        ("omp parallel target device(*) device(0:2)", "device"),
+        ("omp parallel for num_threads(4) num_threads(8)", "num_threads"),
+    ],
+)
+def test_duplicate_clause_rejected(text, clause):
+    # A repeated clause would silently overwrite the first parse; the
+    # error must name the offending clause.
+    with pytest.raises(DirectiveSyntaxError, match=clause):
+        parse_directive(text)
+
+
+def test_repeated_map_clauses_allowed():
+    # map() is the one legitimately repeatable clause (Fig. 2/3 use
+    # several); repetition extends the map list.
+    d = parse_directive(
+        "omp parallel target map(to: x[0:n]) map(to: a) map(from: y[0:n])"
+    )
+    assert [m.name for m in d.maps] == ["x", "a", "y"]

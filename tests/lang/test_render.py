@@ -72,14 +72,6 @@ def directives(draw):
                                  ("parallel", "for", "target"),
                                  ("parallel", "target", "data")]))
     maps = draw(st.lists(parsed_maps(), max_size=4))
-    # unique names: the renderer groups by direction; duplicate names with
-    # different shapes would be ambiguous to compare
-    seen = set()
-    unique = []
-    for m in maps:
-        if m.name not in seen:
-            seen.add(m.name)
-            unique.append(m)
     dist = None
     if draw(st.booleans()):
         dist = ParsedDistSchedule(
@@ -94,7 +86,7 @@ def directives(draw):
     return OffloadDirective(
         directives=kind,
         device_clause=draw(st.sampled_from([None, "(*)", "(0:2)", "(0:*:NVGPU)"])),
-        maps=unique,
+        maps=maps,
         dist_schedule=dist,
         reduction=reduction,
         collapse=collapse,
@@ -104,22 +96,29 @@ def directives(draw):
 @settings(max_examples=150, deadline=None)
 @given(d=directives())
 def test_property_parse_render_round_trip(d):
+    # Exact round trip: the renderer emits consecutive same-direction
+    # maps as one clause run, so the parsed map *list* (order included)
+    # reproduces the original — not merely the same set.
     text = render_directive(d)
     parsed = parse_directive(text)
-    assert parsed.directives == d.directives
-    assert parsed.device_clause == d.device_clause
-    assert parsed.dist_schedule == d.dist_schedule
-    assert parsed.reduction == d.reduction
-    assert parsed.collapse == d.collapse
-    # maps compare as sets of (name, direction, sections, policies, halo):
-    # rendering groups by direction, so order within a direction only
-    got = {
-        (m.name, m.direction, m.sections, m.policies, m.halo)
-        for m in parsed.maps
-    }
-    want = {
-        (m.name, m.direction, m.sections, m.policies,
-         m.halo if m.sections else (0, 0))
-        for m in d.maps
-    }
-    assert got == want
+    assert parsed == d
+
+
+@settings(max_examples=150, deadline=None)
+@given(d=directives())
+def test_property_render_is_idempotent(d):
+    text = render_directive(d)
+    assert render_directive(parse_directive(text)) == text
+
+
+def test_render_preserves_interleaved_map_directions():
+    # to / from / to must stay three clauses in order; global grouping
+    # by direction would fold the two to-maps together and reorder.
+    d = parse_directive(
+        "omp parallel target map(to: x[0:n]) map(from: y[0:n]) map(to: z)"
+    )
+    text = render_directive(d)
+    assert text.index("map(to: x") < text.index("map(from: y") < text.index(
+        "map(to: z"
+    )
+    assert parse_directive(text) == d

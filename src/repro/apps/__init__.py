@@ -2,8 +2,16 @@
 
 from repro.apps.jacobi import JacobiSolver, JacobiResult, JacobiCopyKernel, JacobiSweepKernel
 from repro.apps.blas_chain import BlasChain, BlasChainResult, PowerIteration, PowerIterationResult
+from repro.apps.streaming import (
+    OnlineSumKernel,
+    SlidingStencilKernel,
+    StreamingBlockMatchingKernel,
+)
 
 __all__ = [
+    "SlidingStencilKernel",
+    "OnlineSumKernel",
+    "StreamingBlockMatchingKernel",
     "JacobiSolver",
     "JacobiResult",
     "JacobiCopyKernel",

@@ -20,6 +20,9 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.engine.core import resolve_backend
+from repro.errors import OffloadError
+
 from repro.bench.figures import (
     fig5_gpu4,
     fig6_breakdown,
@@ -77,6 +80,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+
+    if args.executor is not None:
+        # Fail fast against the live backend registry: a typo'd name dies
+        # here with the registered names and alias->target pairs instead
+        # of deep inside the first grid cell.
+        try:
+            resolve_backend(args.executor)
+        except OffloadError as exc:
+            parser.error(str(exc))
 
     targets = args.targets or list(GENERATORS)
     if args.out:

@@ -34,7 +34,7 @@ from typing import Any, Mapping
 
 from repro import __version__
 from repro.engine.batch import BATCH_VERSION
-from repro.engine.core import CORE_VERSION
+from repro.engine.core import CORE_VERSION, STREAM_VERSION
 from repro.ir.ops import IR_VERSION
 from repro.memory.residency import DATA_VERSION
 from repro.engine.trace import OffloadResult
@@ -116,6 +116,10 @@ def result_key(
         # lowering or pass-semantics change that could perturb a lowered
         # program's results bumps IR_VERSION.
         "ir": IR_VERSION,
+        # Cross-batch carry seeding (DeviceCarry) touches the same clock
+        # paths one-shot runs use; stream-semantics changes that could
+        # perturb any cached timing bump STREAM_VERSION.
+        "stream": STREAM_VERSION,
         "machine": machine.to_dict(),
         "workload": dict(workload_fp),
         "policy": str(policy),

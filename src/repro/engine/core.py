@@ -61,10 +61,12 @@ from repro.util.ranges import IterRange, split_block
 
 __all__ = [
     "CORE_VERSION",
+    "STREAM_VERSION",
     "ChunkPhase",
     "LIFECYCLE",
     "StageTiming",
     "DeviceState",
+    "DeviceCarry",
     "RunContext",
     "EngineBase",
     "Clock",
@@ -80,6 +82,11 @@ __all__ = [
 #: Version of the execution core.  Part of the sweep-cache fingerprint:
 #: bump on any change that could perturb virtual-time results.
 CORE_VERSION = "1"
+
+#: Version of the streaming execution path (cross-batch carry, the
+#: stream-pipeline IR pass, STREAM_REBALANCE).  Part of the sweep-cache
+#: fingerprint: bump on any change that could perturb stream results.
+STREAM_VERSION = "1"
 
 
 # ---------------------------------------------------------------------------
@@ -199,6 +206,33 @@ class DeviceState:
     done: bool = False
     at_barrier: float | None = None
     lost: bool = False  # permanently dead (dropout or quarantine)
+    #: Virtual time at which the device drained (would have requested its
+    #: next chunk); the cross-batch carry's per-device ready time.
+    drain_t: float = 0.0
+
+
+@dataclass(frozen=True)
+class DeviceCarry:
+    """Per-device pipeline state threaded from one stream batch to the next.
+
+    A stream batch does not start from a cold pipeline: batch ``k+1``'s
+    copy-in may begin while batch ``k``'s compute is still running on the
+    same device.  The carry records where each of the device's three
+    pipeline engines frees (in cumulative stream time), when the device
+    may request its first chunk of the next batch (``ready`` — the
+    request it would have made had more work existed), whether it has
+    already paid its one-time setup overhead (``first_chunk``), and
+    whether it is permanently gone (``lost``: dropout/quarantine persists
+    for the rest of the stream).
+    """
+
+    copy_in_free: float = 0.0
+    comp_free: float = 0.0
+    copy_out_free: float = 0.0
+    finish: float = 0.0
+    ready: float = 0.0
+    first_chunk: bool = True
+    lost: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -300,6 +334,7 @@ class RunContext:
         residency=None,
         base_meta: dict | None = None,
         obs_meta_extra: dict | None = None,
+        carry_in: "dict[int, DeviceCarry] | None" = None,
     ):
         self.machine = machine
         self.kernel = kernel
@@ -343,6 +378,9 @@ class RunContext:
             DeviceState(device=d, trace=DeviceTrace(devid=d.devid, name=d.name))
             for d in self.devices
         ]
+        #: Cross-batch pipeline carry (streams only; None = cold start,
+        #: which leaves every code path bit-identical to the one-shot run).
+        self.carry_in = carry_in
         self.reduction = kernel.identity()
         self.covered = 0
         self.chunk_log: list[tuple[int, IterRange]] = []
@@ -357,6 +395,25 @@ class RunContext:
         self.wake: Callable[[DeviceState, float], None] = lambda st, t: None
         #: re-check the barrier (a device just drained or died).
         self.maybe_release_barrier: Callable[[], None] = lambda: None
+
+        if carry_in:
+            for devid, carry in carry_in.items():
+                st = self.states[devid]
+                st.copy_in_free = carry.copy_in_free
+                st.comp_free = carry.comp_free
+                st.copy_out_free = carry.copy_out_free
+                st.finish = carry.finish
+                st.first_chunk = carry.first_chunk
+                if carry.lost:
+                    st.lost = True
+                    st.done = True
+            for devid, carry in carry_in.items():
+                if not carry.lost:
+                    continue
+                # The device died in an earlier batch; surrender whatever
+                # share this batch's scheduler reserved for it.
+                for reserved in scheduler.device_lost(devid):
+                    self.add_orphan(reserved, carry.finish)
 
     # -- lifecycle entry -----------------------------------------------------
 
@@ -913,6 +970,27 @@ class RunContext:
             reduction=self.reduction if kernel.is_reduction else None,
             meta=meta,
         )
+
+    def carry_out(self) -> "dict[int, DeviceCarry]":
+        """Per-device pipeline state to seed the next stream batch with.
+
+        Meaningful after :meth:`finalize`: each device's engine-free
+        times, its natural next-request time (``drain_t``, recorded by
+        the backend when the device drained) and its lost flag, all in
+        cumulative stream time.
+        """
+        return {
+            st.device.devid: DeviceCarry(
+                copy_in_free=st.copy_in_free,
+                comp_free=st.comp_free,
+                copy_out_free=st.copy_out_free,
+                finish=st.finish,
+                ready=st.drain_t,
+                first_chunk=st.first_chunk,
+                lost=st.lost,
+            )
+            for st in self.states
+        }
 
     @property
     def timeline(self) -> Timeline:

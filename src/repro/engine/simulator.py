@@ -100,6 +100,11 @@ class OffloadEngine(EngineBase):
     #: When set, per-chunk transfer bytes are the *delta* between what the
     #: chunk touches and what the placement already made resident.
     residency: "RegionResidency | None" = None
+    #: Cross-batch pipeline carry for stream execution (devid ->
+    #: :class:`~repro.engine.core.DeviceCarry`).  None = cold start; set
+    #: by the stream runner between batches so batch k+1's copy-in can
+    #: overlap batch k's still-running compute.
+    carry_in: "dict | None" = None
 
     def run(
         self,
@@ -122,6 +127,7 @@ class OffloadEngine(EngineBase):
             tracer=self.tracer,
             residency=self.residency,
             base_meta={"seed": self.seed, "machine": self.machine.name},
+            carry_in=self.carry_in,
         )
         self._begin_run(core)
         try:
@@ -144,7 +150,20 @@ class OffloadEngine(EngineBase):
         # Devices sharing a PCIe slot contend for one bus resource.
         group_free: dict[str, float] = {}
 
-        clock = VirtualClock([s.device.devid for s in states])
+        carry = core.carry_in
+        if carry:
+            # Stream batch with a warm pipeline: each surviving device
+            # wakes at its carried next-request time instead of 0.0, so
+            # this batch's copy-ins queue behind (and overlap with) the
+            # previous batch's still-draining stages.
+            clock = VirtualClock()
+            for s in states:
+                if s.done:
+                    continue
+                c = carry.get(s.device.devid)
+                clock.push(c.ready if c is not None else 0.0, s.device.devid)
+        else:
+            clock = VirtualClock([s.device.devid for s in states])
 
         def wake(st, t: float) -> None:
             clock.push(max(t, st.finish), st.device.devid)
@@ -180,6 +199,7 @@ class OffloadEngine(EngineBase):
 
             if decision is None:
                 st.done = True
+                st.drain_t = t  # when the next batch may first request
                 # If everyone else is parked at the barrier, release them.
                 maybe_release_barrier()
                 continue

@@ -27,6 +27,7 @@ __all__ = [
     "AdmissionError",
     "ServiceClosedError",
     "JobCancelled",
+    "JobExpired",
 ]
 
 
@@ -148,4 +149,15 @@ class JobCancelled(ServiceError):
     state ``CANCELLED`` — handles resolve with it, they never raise it;
     :meth:`~repro.service.JobResult.unwrap` re-raises it like any other
     job failure.
+    """
+
+
+class JobExpired(ServiceError):
+    """A queued job outlived its ``deadline_s`` before dispatch.
+
+    Like :class:`JobCancelled`, this travels as the ``error`` of a
+    :class:`~repro.service.JobResult` (state ``EXPIRED``) — handles
+    resolve with it, never raise it.  Work already on an engine is never
+    expired: the deadline is checked only while the job sits in the
+    queue, so a slow *run* still completes normally.
     """

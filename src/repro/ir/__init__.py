@@ -25,6 +25,7 @@ from repro.ir.ops import (
     Program,
     ReduceOp,
     Region,
+    StreamOp,
 )
 from repro.ir.passes import (
     DEFAULT_PIPELINE,
@@ -33,6 +34,7 @@ from repro.ir.passes import (
     fuse_adjacent_offloads,
     normalize_maps,
     run_passes,
+    stream_pipeline,
 )
 from repro.ir.verify import verify_program
 
@@ -48,6 +50,7 @@ __all__ = [
     "ReduceOp",
     "OffloadOp",
     "FusedOffloadOp",
+    "StreamOp",
     "Program",
     "from_directive",
     "from_directives",
@@ -58,6 +61,7 @@ __all__ = [
     "normalize_maps",
     "derive_halo",
     "fuse_adjacent_offloads",
+    "stream_pipeline",
     "DEFAULT_PIPELINE",
     "PASSES",
 ]

@@ -34,6 +34,7 @@ from repro.ir.ops import (
     Program,
     ReduceOp,
     Region,
+    StreamOp,
 )
 from repro.kernels.base import LoopKernel
 from repro.lang.pragma import OffloadDirective, parse_directive
@@ -147,9 +148,16 @@ def from_directive(
     decls, op = _lower_one(d, kernel, schedule=schedule)
     merged: dict[str, DataDecl] = {}
     _merge_decls(merged, decls)
+    lowered: "OffloadOp | StreamOp" = op
+    if d.stream is not None:
+        # stream(batches=N, window=W): the op becomes the batch template;
+        # the stream-pipeline pass hoists its maps into region_maps.
+        lowered = StreamOp(
+            template=op, batches=d.stream.batches, window=d.stream.window
+        )
     return Program(
         decls=tuple(merged.values()),
-        ops=(op,),
+        ops=(lowered,),
         source=(source,) if source else (),
     )
 

@@ -23,6 +23,10 @@ OffloadOp  one offloadable loop: kernel + schedule + devices + maps
 FusedOffloadOp
            a back-to-back run of compatible OffloadOps sharing a data
            environment (built by the fuse-adjacent-offloads pass)
+StreamOp   ``batches`` repetitions of one template offload over evolving
+           data (the ``stream(batches=N, window=W)`` clause); the
+           stream-pipeline pass hoists the template's maps into a
+           persistent ``region_maps`` data environment
 Program    an ordered sequence of offloads over a set of declarations,
            plus optional program-scope ``region_maps`` (target data)
 ========== ==============================================================
@@ -58,6 +62,7 @@ __all__ = [
     "ReduceOp",
     "OffloadOp",
     "FusedOffloadOp",
+    "StreamOp",
     "Program",
 ]
 
@@ -337,6 +342,40 @@ class FusedOffloadOp:
 
 
 @dataclass(frozen=True)
+class StreamOp:
+    """One template offload executed ``batches`` times over evolving data.
+
+    Lowered from the ``stream(batches=N, window=W)`` clause (HSTREAM
+    direction).  ``window`` is the number of dim-0 rows the stream source
+    refreshes between batches: steady-state batches re-stage only that
+    sliding-window delta once the ``stream-pipeline`` pass has hoisted
+    the per-batch maps into the persistent ``region_maps`` environment
+    the runtime opens across the whole batch sequence.
+    """
+
+    template: OffloadOp
+    batches: int
+    window: int = 0
+    region_maps: tuple[MapOp, ...] = ()
+
+    @property
+    def devices(self) -> str | None:
+        return self.template.devices
+
+    @property
+    def n_iters(self) -> int:
+        return self.template.n_iters
+
+    @property
+    def serialize_offload(self) -> bool:
+        return self.template.serialize_offload
+
+    @property
+    def map_names(self) -> tuple[str, ...]:
+        return self.template.map_names
+
+
+@dataclass(frozen=True)
 class Program:
     """A lowered directive sequence: declarations + offloads in order.
 
@@ -350,7 +389,7 @@ class Program:
     #: Device clause of the ``target data`` directive a region program
     #: was lowered from (None = all devices).
     region_devices: str | None = None
-    ops: tuple[OffloadOp | FusedOffloadOp, ...] = ()
+    ops: tuple["OffloadOp | FusedOffloadOp | StreamOp", ...] = ()
     #: Original directive texts, for provenance/debugging only.
     source: tuple[str, ...] = ()
 
@@ -367,6 +406,8 @@ class Program:
         for op in self.ops:
             if isinstance(op, FusedOffloadOp):
                 out.extend(op.members)
+            elif isinstance(op, StreamOp):
+                out.append(op.template)
             else:
                 out.append(op)
         return tuple(out)
@@ -382,11 +423,22 @@ class Program:
                 f"partition[{', '.join(str(p) for p in m.policies)}])"
             )
         for op in self.ops:
-            members = op.members if isinstance(op, FusedOffloadOp) else (op,)
+            if isinstance(op, FusedOffloadOp):
+                members = op.members
+            elif isinstance(op, StreamOp):
+                members = (op.template,)
+            else:
+                members = (op,)
             indent = "  "
             if isinstance(op, FusedOffloadOp):
                 lines.append(
                     f"  fused group over {{{', '.join(sorted({m.array for m in op.region_maps}))}}}"
+                )
+                indent = "    "
+            elif isinstance(op, StreamOp):
+                lines.append(
+                    f"  stream batches={op.batches} window={op.window} "
+                    f"region={{{', '.join(sorted({m.array for m in op.region_maps}))}}}"
                 )
                 indent = "    "
             for m in members:

@@ -49,6 +49,7 @@ from repro.ir.ops import (
     OffloadOp,
     Program,
     Region,
+    StreamOp,
 )
 from repro.memory.space import MapDirection
 
@@ -59,6 +60,7 @@ __all__ = [
     "normalize_maps",
     "derive_halo",
     "fuse_adjacent_offloads",
+    "stream_pipeline",
 ]
 
 
@@ -148,6 +150,13 @@ def normalize_maps(program: Program) -> Program:
                 replace(m, maps=_merge_maps(m.maps)) for m in op.members
             )
             new = replace(op, members=members)
+        elif isinstance(op, StreamOp):
+            merged = _merge_maps(op.template.maps)
+            new = (
+                op
+                if merged == op.template.maps
+                else replace(op, template=replace(op.template, maps=merged))
+            )
         else:
             merged = _merge_maps(op.maps)
             new = op if merged == op.maps else replace(op, maps=merged)
@@ -185,6 +194,15 @@ def derive_halo(program: Program) -> Program:
             )
             new = replace(op, members=members)
             if members != op.members:
+                changed = True
+        elif isinstance(op, StreamOp):
+            halos = _halos_for(op.template, program)
+            new = (
+                op
+                if halos == op.template.halos
+                else replace(op, template=replace(op.template, halos=halos))
+            )
+            if new is not op:
                 changed = True
         else:
             halos = _halos_for(op, program)
@@ -281,10 +299,37 @@ def fuse_adjacent_offloads(program: Program) -> Program:
     return replace(program, ops=tuple(out)) if changed else program
 
 
+def stream_pipeline(program: Program) -> Program:
+    """Hoist every stream's per-batch maps into a persistent region.
+
+    A :class:`~repro.ir.ops.StreamOp` without ``region_maps`` would open
+    and tear down its template's data environment every batch, restaging
+    everything.  This pass fills ``region_maps`` with the merged template
+    map set, so the runtime opens *one* target-data region across the
+    whole batch sequence: the residency ledger then keeps device-resident
+    state between batches and steady-state batches pay only the
+    sliding-window delta.  Streams whose region is already set (or whose
+    template maps nothing) pass through unchanged.
+    """
+    changed = False
+    ops = []
+    for op in program.ops:
+        if (
+            isinstance(op, StreamOp)
+            and not op.region_maps
+            and op.template.maps
+        ):
+            op = replace(op, region_maps=_merge_maps(op.template.maps))
+            changed = True
+        ops.append(op)
+    return replace(program, ops=tuple(ops)) if changed else program
+
+
 PASSES: dict[str, Callable[[Program], Program]] = {
     "normalize-maps": normalize_maps,
     "derive-halo": derive_halo,
     "fuse-adjacent-offloads": fuse_adjacent_offloads,
+    "stream-pipeline": stream_pipeline,
 }
 
 #: The standard pipeline, in application order.
@@ -292,6 +337,7 @@ DEFAULT_PIPELINE: tuple[str, ...] = (
     "normalize-maps",
     "derive-halo",
     "fuse-adjacent-offloads",
+    "stream-pipeline",
 )
 
 

@@ -31,6 +31,7 @@ from repro.ir.ops import (
     MapOp,
     OffloadOp,
     Program,
+    StreamOp,
 )
 
 __all__ = ["verify_program"]
@@ -126,6 +127,27 @@ def _check_fused(
         _check_map(m, decls, "fused region")
 
 
+def _check_stream(
+    op: StreamOp, decls: dict[str, DataDecl], arrays_seen: dict[str, object]
+) -> None:
+    where = f"stream {getattr(op.template.kernel, 'name', '?')!r}"
+    if op.batches < 1:
+        raise IRVerifyError(f"{where}: batches must be >= 1, got {op.batches}")
+    if op.window < 0:
+        raise IRVerifyError(f"{where}: window must be >= 0, got {op.window}")
+    _check_offload(op.template, decls, arrays_seen)
+    if op.region_maps:
+        region_names = {m.array for m in op.region_maps}
+        member_names = set(op.template.map_names)
+        if not member_names <= region_names:
+            missing = sorted(member_names - region_names)
+            raise IRVerifyError(
+                f"{where}: region maps miss template arrays {missing}"
+            )
+        for m in op.region_maps:
+            _check_map(m, decls, f"{where} region")
+
+
 def verify_program(program: Program) -> Program:
     """Check ``program``; returns it unchanged so calls compose."""
     if not program.ops and not program.region_maps:
@@ -143,6 +165,8 @@ def verify_program(program: Program) -> Program:
     for op in program.ops:
         if isinstance(op, FusedOffloadOp):
             _check_fused(op, decls, arrays_seen)
+        elif isinstance(op, StreamOp):
+            _check_stream(op, decls, arrays_seen)
         else:
             _check_offload(op, decls, arrays_seen)
     return program

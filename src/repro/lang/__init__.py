@@ -12,6 +12,7 @@ strings parsed into the same objects the Python API constructs:
 from repro.lang.device_spec import DeviceSelector, parse_device_clause
 from repro.lang.map_clause import ParsedMap, parse_map_clause
 from repro.lang.dist_schedule import ParsedDistSchedule, parse_dist_schedule
+from repro.lang.stream_clause import ParsedStream, parse_stream_clause
 from repro.lang.pragma import OffloadDirective, parse_directive
 from repro.lang.render import render_directive, render_map, render_dist_schedule
 
@@ -22,6 +23,8 @@ __all__ = [
     "parse_map_clause",
     "ParsedDistSchedule",
     "parse_dist_schedule",
+    "ParsedStream",
+    "parse_stream_clause",
     "OffloadDirective",
     "parse_directive",
     "render_directive",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.errors import DirectiveSyntaxError
 from repro.lang.dist_schedule import ParsedDistSchedule, parse_dist_schedule
 from repro.lang.map_clause import ParsedMap, parse_map_clause
+from repro.lang.stream_clause import ParsedStream, parse_stream_clause
 
 __all__ = ["OffloadDirective", "parse_directive"]
 
@@ -44,6 +45,7 @@ _CLAUSE_HEADS = (
     "shared",
     "num_threads",
     "halo_exchange",
+    "stream",
 )
 
 
@@ -57,6 +59,7 @@ class OffloadDirective:
     dist_schedule: ParsedDistSchedule | None = None
     reduction: tuple[str, str] | None = None  # (op, var)
     collapse: int | None = None
+    stream: ParsedStream | None = None
     other_clauses: dict[str, str] = field(default_factory=dict)
 
     @property
@@ -166,6 +169,8 @@ def parse_directive(text: str) -> OffloadDirective:
                 raise DirectiveSyntaxError(
                     "collapse needs an integer", text=text
                 ) from None
+        elif head == "stream":
+            out.stream = parse_stream_clause(clause_body)
         else:
             out.other_clauses[head] = clause_body.strip()
     return out

@@ -62,6 +62,14 @@ def render_directive(d: OffloadDirective, *, pragma_prefix: bool = True) -> str:
         parts.append(f"collapse({d.collapse})")
     if d.dist_schedule:
         parts.append(render_dist_schedule(d.dist_schedule))
+    if d.stream is not None:
+        if d.stream.window:
+            parts.append(
+                f"stream(batches={d.stream.batches}, "
+                f"window={d.stream.window})"
+            )
+        else:
+            parts.append(f"stream(batches={d.stream.batches})")
     for head, body in d.other_clauses.items():
         parts.append(f"{head}({body})")
     return " ".join(parts)

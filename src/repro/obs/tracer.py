@@ -32,6 +32,7 @@ __all__ = [
     "NULL_TRACER",
     "Tracer",
     "NodeTracer",
+    "BatchTracer",
     "resolve_tracer",
 ]
 
@@ -215,6 +216,68 @@ class NodeTracer:
             node=self.node,
             **args,
         )
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        devid: int,
+        device: str,
+        t: float,
+        **args: Any,
+    ) -> None:
+        self.span(name, cat, devid, device, t, t, **args)
+
+
+class BatchTracer:
+    """A stream-batch-scoped view of a tracer (the stream runner's hook).
+
+    Every emission a per-batch engine run makes through this view lands
+    in the *base* tracer's span stream with a ``batch=<k>`` arg stamped
+    on it — how exporters and span-derived analyses tell apart the same
+    device's work across the batches of one stream.  Timestamps pass
+    through unchanged: stream batches already run in cumulative stream
+    time (the cross-batch carry), so spans from different batches
+    interleave truthfully on one timeline.
+    """
+
+    __slots__ = ("base", "batch")
+
+    def __init__(self, base: "Tracer | NullTracer", *, batch: int) -> None:
+        self.base = base
+        self.batch = batch
+
+    @property
+    def enabled(self) -> bool:
+        return self.base.enabled
+
+    @property
+    def clock(self) -> str:
+        return self.base.clock
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        return self.base.metrics
+
+    @property
+    def meta(self) -> dict:
+        return getattr(self.base, "meta", {})
+
+    @property
+    def spans(self) -> list[Span]:
+        return self.base.spans
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        devid: int,
+        device: str,
+        t0: float,
+        t1: float,
+        **args: Any,
+    ) -> None:
+        self.base.span(name, cat, devid, device, t0, t1, batch=self.batch, **args)
 
     def instant(
         self,

@@ -5,10 +5,13 @@ from repro.runtime.runtime import HompRuntime
 from repro.runtime.data_env import TargetDataRegion
 from repro.runtime.halo import HaloExchange, plan_halo_exchange
 from repro.runtime.offload_info import ArrayInfo, OffloadInfo
+from repro.runtime.stream import StreamResult, run_stream
 
 __all__ = [
     "HompRuntime",
     "TargetDataRegion",
+    "StreamResult",
+    "run_stream",
     "HaloExchange",
     "plan_halo_exchange",
     "ArrayInfo",

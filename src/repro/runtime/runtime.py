@@ -28,7 +28,16 @@ from repro.errors import DeviceError, OffloadError, SchedulingError
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.ir.lower import data_region, from_directive
-from repro.ir.ops import DataDecl, FusedOffloadOp, OffloadOp as IROffloadOp, Program
+from repro.ir.ops import (
+    DataDecl,
+    FusedOffloadOp,
+    MapOp,
+    OffloadOp as IROffloadOp,
+    Program,
+    ReduceOp,
+    Region,
+    StreamOp,
+)
 from repro.ir.passes import normalize_maps, run_passes
 from repro.ir.verify import verify_program
 from repro.kernels.base import LoopKernel
@@ -556,6 +565,68 @@ class HompRuntime:
             result.meta["fusion"]["region_time_s"] = region.total_time_s
         return results
 
+    def _run_stream_op(
+        self, op: StreamOp, decls: "dict[str, DataDecl]", **kwargs
+    ):
+        """Execute a streamed offload (see :mod:`repro.runtime.stream`)."""
+        from repro.runtime.stream import run_stream
+
+        return run_stream(self, op, decls, **kwargs)
+
+    def stream(
+        self,
+        kernel: LoopKernel,
+        *,
+        batches: int,
+        window: int = 0,
+        schedule="AUTO",
+        devices=None,
+        **kwargs,
+    ):
+        """Offload one kernel over ``batches`` data batches (Python-API
+        form of the ``stream(batches=N, window=W)`` clause).
+
+        Builds the :class:`~repro.ir.ops.StreamOp` the directive path
+        would lower to (the kernel's effective maps become both the batch
+        template and the hoisted persistent data region) and runs it
+        through :mod:`repro.runtime.stream`: one target-data region held
+        across all batches, one engine with cross-batch carry, one
+        scheduler instance (``STREAM_REBALANCE`` re-derives the split
+        between batches from observed rates).  ``window`` rows are
+        refreshed by the host between batches — via the kernel's
+        ``stream_advance(batch, window)`` hook when it has one, else the
+        leading rows of every inbound map.  A 1-batch stream degenerates
+        to a literal :meth:`parallel_for`.  Returns a
+        :class:`~repro.runtime.stream.StreamResult`.
+        """
+        if batches < 1:
+            raise SchedulingError(f"stream needs batches >= 1, got {batches}")
+        if window < 0:
+            raise SchedulingError(f"stream window must be >= 0, got {window}")
+        maps = tuple(
+            MapOp(
+                array=m.name,
+                direction=m.direction,
+                policies=m.policies,
+                halo=m.halo,
+                region=Region.for_map(m.policies, m.halo),
+            )
+            for m in kernel.effective_maps()
+        )
+        template = IROffloadOp(
+            kernel=kernel,
+            label=kernel.label,
+            n_iters=kernel.n_iters,
+            schedule=schedule,
+            devices=devices,
+            maps=maps,
+            reduce=ReduceOp() if kernel.is_reduction else None,
+        )
+        op = StreamOp(
+            template=template, batches=batches, window=window, region_maps=maps
+        )
+        return self._run_stream_op(op, {}, **kwargs)
+
     def run_program(
         self, program: Program, *, passes=None, **kwargs
     ) -> list[OffloadResult]:
@@ -568,9 +639,11 @@ class HompRuntime:
         derive-halo, fuse-adjacent-offloads), an empty tuple disables
         rewriting.  Returns one :class:`~repro.engine.trace.OffloadResult`
         per lowered offload, positionally aligned with the input ops
-        (fused groups contribute one result per member).  ``kwargs`` are
-        forwarded to every :meth:`parallel_for` call (tracer, executor,
-        cutoff_ratio, ...).
+        (fused groups contribute one result per member; a
+        :class:`~repro.ir.ops.StreamOp` contributes one
+        :class:`~repro.runtime.stream.StreamResult` covering all its
+        batches).  ``kwargs`` are forwarded to every
+        :meth:`parallel_for` call (tracer, executor, cutoff_ratio, ...).
 
         A single-offload program produces a result byte-identical to the
         historical direct directive interpretation — pinned by the
@@ -584,6 +657,10 @@ class HompRuntime:
             if isinstance(op, FusedOffloadOp):
                 results.extend(
                     self._run_fused_op(op, decls, group, **dict(kwargs))
+                )
+            elif isinstance(op, StreamOp):
+                results.append(
+                    self._run_stream_op(op, decls, **dict(kwargs))
                 )
             else:
                 results.append(

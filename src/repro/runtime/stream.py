@@ -1,0 +1,248 @@
+"""Stream execution: one offload template run over many data batches.
+
+The runner behind :class:`~repro.ir.ops.StreamOp` (the
+``stream(batches=N, window=W)`` clause, HSTREAM direction).  A stream is
+*not* N independent offloads:
+
+* **One persistent data region.**  The template's maps — hoisted into
+  ``StreamOp.region_maps`` by the ``stream-pipeline`` pass — open a
+  single :class:`~repro.runtime.data_env.TargetDataRegion` around the
+  whole batch sequence, so device-resident state survives across
+  batches and a steady-state batch pays only the sliding-window delta
+  the host refreshed since the last one (``bytes_elided`` in each batch
+  result's residency meta records the savings).
+* **One engine, cross-batch double buffering.**  Every batch runs on
+  the same backend instance; between batches the runner threads the
+  engine's :meth:`~repro.engine.core.RunContext.carry_out` into the
+  next run's ``carry_in``, so batch k+1's copy-ins queue behind (and
+  overlap with) batch k's still-draining compute and copy-out stages.
+  All times are cumulative stream time; spans are stamped ``batch=<k>``
+  through :class:`~repro.obs.tracer.BatchTracer`.
+* **One scheduler instance.**  A stateful scheduler (STREAM_REBALANCE)
+  keeps its observed-rate history and its lost-device set across
+  ``start`` calls, re-deriving the split between batches; stateless
+  schedulers simply re-partition each batch.
+
+Between batches the host *advances* the stream: a kernel exposing
+``stream_advance(batch, window)`` mutates its host arrays and returns
+the dirty dim-0 row ranges per array; the runner invalidates those rows
+on every region device so the next batch re-stages exactly the delta.
+Kernels without the hook fall back to the leading ``window`` rows of
+every inbound map (a ring buffer where new data lands at the front).
+
+Degenerate contract: a 1-batch stream is executed as a literal
+:meth:`~repro.runtime.runtime.HompRuntime.parallel_for` — no region, no
+carry — so its single result is byte-identical (pickle-equal) to the
+one-shot path on every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+
+from repro.engine.core import make_backend
+from repro.engine.simulator import OffloadEngine
+from repro.engine.trace import OffloadResult
+from repro.errors import OffloadError
+from repro.ir.lower import decl_for
+from repro.ir.ops import DataDecl, StreamOp
+from repro.obs.tracer import BatchTracer
+from repro.util.ranges import IterRange
+
+__all__ = ["StreamResult", "run_stream"]
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one streamed offload (all batches)."""
+
+    kernel_name: str
+    algorithm: str
+    batches: int
+    window: int
+    #: One :class:`~repro.engine.trace.OffloadResult` per batch, in
+    #: order.  ``total_time_s`` values are *cumulative* stream times.
+    results: list[OffloadResult]
+    #: Region-transfer totals across the whole stream.
+    bytes_moved: float = 0.0
+    bytes_elided: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_time_s(self) -> float:
+        """End-to-end stream makespan (the last batch's finish time)."""
+        return self.results[-1].total_time_s if self.results else 0.0
+
+    @property
+    def batch_times_s(self) -> list[float]:
+        """Per-batch latency: deltas of the cumulative finish times."""
+        out: list[float] = []
+        prev = 0.0
+        for r in self.results:
+            out.append(r.total_time_s - prev)
+            prev = r.total_time_s
+        return out
+
+    @property
+    def throughput_batches_per_s(self) -> float:
+        total = self.total_time_s
+        return self.batches / total if total > 0 else 0.0
+
+    @property
+    def reductions(self) -> list[float | None]:
+        return [r.reduction for r in self.results]
+
+
+def _advance_stream(runtime, region, op: StreamOp, kernel, batch: int) -> None:
+    """Host-side refresh between batch ``batch - 1`` and ``batch``.
+
+    The kernel's ``stream_advance`` hook (when present) mutates the host
+    arrays and names the dirty dim-0 ranges; the fallback treats the
+    leading ``window`` rows of every inbound map as refreshed.  Dirty
+    rows are invalidated on every region device so the next batch's
+    chunks re-pay exactly the delta through the residency ledger.
+    """
+    advance = getattr(kernel, "stream_advance", None)
+    if advance is not None:
+        dirty = advance(batch, op.window) or {}
+    elif op.window > 0:
+        maps = op.region_maps if op.region_maps else op.template.maps
+        dirty = {
+            m.array: IterRange(0, op.window)
+            for m in maps
+            if m.direction.copies_in
+        }
+    else:
+        return
+    ledger = runtime.ledger
+    for name, ranges in dirty.items():
+        if isinstance(ranges, IterRange):
+            ranges = [ranges]
+        ranges = [r for r in ranges if not r.empty]
+        if not ranges:
+            continue
+        for gid in region._ids:
+            ledger.invalidate(gid, name, ranges)
+
+
+def run_stream(
+    runtime,
+    op: StreamOp,
+    decls: "dict[str, DataDecl] | None" = None,
+    **kwargs,
+) -> StreamResult:
+    """Execute a :class:`~repro.ir.ops.StreamOp` on ``runtime``.
+
+    ``kwargs`` are forwarded to every per-batch offload (cutoff_ratio,
+    fault_plan, resilience, tracer, executor, record_events, ...); the
+    fault plan's virtual-time windows apply over the *cumulative* stream
+    timeline, so a slowdown window hits whichever batches run inside it
+    and a mid-stream dropout kills the device for every later batch.
+    """
+    from repro.runtime.data_env import TargetDataRegion
+
+    decls = decls or {}
+    kernel = op.template.kernel
+    for name, pol in op.template.partition_overrides:
+        kernel.set_partition(name, pol)
+    kwargs.setdefault("serialize_offload", op.serialize_offload)
+
+    if op.batches == 1:
+        # Degenerate stream: literally the one-shot path (no region, no
+        # carry) — byte-identical to parallel_for on every backend.
+        result = runtime.parallel_for(
+            kernel,
+            schedule=op.template.schedule,
+            devices=op.devices,
+            **kwargs,
+        )
+        return StreamResult(
+            kernel_name=result.kernel_name,
+            algorithm=result.algorithm,
+            batches=1,
+            window=op.window,
+            results=[result],
+            meta={"degenerate": True},
+        )
+
+    base_tracer = kwargs.pop("tracer", None)
+    executor = kwargs.pop("executor", None)
+    engine = kwargs.pop("engine", None)
+
+    ids = runtime.select_devices(op.devices)
+    submachine = runtime.machine.subset(ids)
+    scheduler = runtime._resolve_scheduler(
+        op.template.schedule, kernel, submachine, {}
+    )
+    if engine is None:
+        engine = make_backend(
+            executor if executor is not None else OffloadEngine, submachine
+        )
+    elif executor is not None:
+        raise OffloadError(
+            "pass either executor= (a backend to build) or engine= "
+            "(an already-built instance), not both"
+        )
+    supports_carry = any(
+        f.name == "carry_in" for f in dataclass_fields(engine)
+    )
+
+    region_maps = op.region_maps if op.region_maps else op.template.maps
+    arrays = {m.array: kernel.arrays[m.array] for m in region_maps}
+    decls = dict(decls)
+    for name in op.template.map_names:
+        if name not in decls:
+            decls[name] = decl_for(name, kernel.arrays[name])
+    region = TargetDataRegion.from_ir(runtime, region_maps, arrays, devices=ids)
+
+    results: list[OffloadResult] = []
+    bytes_moved = bytes_elided = 0.0
+    try:
+        with region:
+            carry = None
+            for k in range(op.batches):
+                if k > 0:
+                    _advance_stream(runtime, region, op, kernel, k)
+                if supports_carry:
+                    engine.carry_in = carry
+                batch_kwargs = dict(kwargs)
+                if base_tracer is not None:
+                    batch_kwargs["tracer"] = BatchTracer(base_tracer, batch=k)
+                result = region.parallel_for(
+                    kernel,
+                    schedule=scheduler,
+                    engine=engine,
+                    ir_op=op.template,
+                    ir_decls=decls,
+                    **batch_kwargs,
+                )
+                result.meta["stream"] = {
+                    "batch": k,
+                    "batches": op.batches,
+                    "window": op.window,
+                }
+                res = result.meta.get("residency")
+                if res is not None:
+                    bytes_moved += res["bytes_moved"]
+                    bytes_elided += res["bytes_elided"]
+                results.append(result)
+                if supports_carry:
+                    carry = engine._run_ctx.carry_out()
+    finally:
+        if supports_carry:
+            engine.carry_in = None
+
+    return StreamResult(
+        kernel_name=kernel.name,
+        algorithm=scheduler.describe(),
+        batches=op.batches,
+        window=op.window,
+        results=results,
+        bytes_moved=bytes_moved,
+        bytes_elided=bytes_elided,
+        meta={
+            "device_ids": list(ids),
+            "region_time_s": region.total_time_s,
+            "pipelined": supports_carry,
+        },
+    )

@@ -11,6 +11,7 @@ from repro.sched.profile_const import ProfileScheduler
 from repro.sched.profile_model import ModelProfileScheduler
 from repro.sched.align_sched import AlignedScheduler
 from repro.sched.history import HistoryDB, HistoryScheduler
+from repro.sched.stream_rebalance import StreamRebalanceScheduler
 from repro.sched.worksteal import WorkStealingScheduler
 from repro.sched.cutoff import apply_cutoff, default_cutoff_ratio
 from repro.sched.registry import (
@@ -37,6 +38,7 @@ __all__ = [
     "AlignedScheduler",
     "HistoryDB",
     "HistoryScheduler",
+    "StreamRebalanceScheduler",
     "WorkStealingScheduler",
     "apply_cutoff",
     "default_cutoff_ratio",

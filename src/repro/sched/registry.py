@@ -26,6 +26,7 @@ from repro.sched.model1 import Model1Scheduler
 from repro.sched.model2 import Model2Scheduler
 from repro.sched.profile_const import ProfileScheduler
 from repro.sched.profile_model import ModelProfileScheduler
+from repro.sched.stream_rebalance import StreamRebalanceScheduler
 from repro.sched.worksteal import WorkStealingScheduler
 
 __all__ = [
@@ -50,6 +51,7 @@ SCHEDULERS: dict[str, Callable[..., LoopScheduler]] = {
     "ALIGN": AlignedScheduler,
     "HISTORY_AUTO": HistoryScheduler,
     "WORK_STEALING": WorkStealingScheduler,
+    "STREAM_REBALANCE": StreamRebalanceScheduler,
 }
 
 
@@ -129,5 +131,10 @@ EXTENSION_TABLE: tuple[AlgorithmInfo, ...] = (
     AlgorithmInfo(
         "Chunk Scheduling", "Work Stealing", "WORK_STEALING,2%", "Multiple",
         "High", "Good", "Even start, idle devices steal from the largest victim",
+    ),
+    AlgorithmInfo(
+        "Stream Rebalancing", "Rate-aware Stream Split", "STREAM_REBALANCE",
+        "1 per batch", "Low", "Good",
+        "BLOCK-shaped batches rebalanced between batches by EWMA rates",
     ),
 )

@@ -1,0 +1,107 @@
+"""Rate-aware stream rebalancing — the streaming runtime's scheduler.
+
+A stream (:class:`~repro.ir.ops.StreamOp`) runs the same kernel over many
+batches; the one thing the runtime learns for free is each device's
+*observed* batch rate.  :class:`StreamRebalanceScheduler` is a stateful
+scheduler the stream runner reuses across every batch of one stream:
+
+* within a batch it is BLOCK-shaped — one contiguous chunk per device,
+  fixed at ``start`` — so per-batch overhead stays at the Table II
+  "Low" tier;
+* between batches it re-derives the split from an EWMA of measured
+  per-device rates (``observe`` folds in every finished chunk), so a
+  device that slows down mid-stream — a fault-plan window, thermal
+  throttling, a noisy neighbour — sheds iterations on the *next* batch;
+* with no history yet (batch 0, or a fresh device set) it degrades to
+  exactly the static BLOCK split, and a device that appears without
+  history mid-stream is seeded with the mean of the known rates;
+* a device lost mid-stream (:meth:`device_lost`, driven by the fault
+  layer) stays dead for the remainder of the stream — the ``_dead`` set
+  persists across ``start`` calls, unlike every one-shot scheduler.
+
+CUTOFF composes the usual way: predicted (here: observed) contributions
+below the ratio zero the device out of the split for that batch; the
+device keeps feeding the EWMA if it later rejoins.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.sched.base import Decision, LoopScheduler, SchedContext
+from repro.sched.cutoff import apply_cutoff
+from repro.util.ranges import IterRange, split_by_weights
+
+__all__ = ["StreamRebalanceScheduler"]
+
+
+class StreamRebalanceScheduler(LoopScheduler):
+    """BLOCK-shaped per batch; rebalanced between batches by EWMA rates."""
+
+    notation = "STREAM_REBALANCE"
+    stages = 1
+    supports_cutoff = True
+    #: The split is fixed in start(); observe() only feeds the EWMA, and
+    #: the batch backend replays observes in exact commit order.
+    batch_vectorizable = True
+
+    def __init__(self, *, alpha: float = 0.3):
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise SchedulingError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        #: devid -> EWMA of measured iters/s, persistent across batches.
+        self._rates: dict[int, float] = {}
+        #: devids lost mid-stream; they never rejoin this stream.
+        self._dead: set[int] = set()
+
+    def start(self, ctx: SchedContext) -> None:
+        super().start(ctx)
+        ndev = ctx.ndev
+        alive = [d for d in range(ndev) if d not in self._dead]
+        if not alive:
+            raise SchedulingError(
+                "STREAM_REBALANCE: every device was lost mid-stream"
+            )
+        known = [self._rates[d] for d in alive if d in self._rates]
+        if not known:
+            # No history yet: degrade to the static BLOCK split.
+            weights = [0.0 if d in self._dead else 1.0 for d in range(ndev)]
+        else:
+            mean = sum(known) / len(known)
+            weights = [
+                0.0 if d in self._dead else self._rates.get(d, mean)
+                for d in range(ndev)
+            ]
+
+        def resolve(survivors: list[int]) -> list[float]:
+            return [weights[i] for i in survivors]
+
+        shares = apply_cutoff(weights, ctx.cutoff_ratio, resolve)
+        self._chunks: list[IterRange] = split_by_weights(ctx.iter_space, shares)
+        self._served = [False] * ndev
+
+    def next(self, devid: int) -> Decision:
+        if self._served[devid]:
+            return None
+        self._served[devid] = True
+        chunk = self._chunks[devid]
+        return None if chunk.empty else chunk
+
+    def observe(self, devid: int, chunk: IterRange, elapsed_s: float) -> None:
+        rate = len(chunk) / max(elapsed_s, 1e-12)
+        prev = self._rates.get(devid)
+        self._rates[devid] = (
+            rate if prev is None else (1.0 - self.alpha) * prev + self.alpha * rate
+        )
+
+    def device_lost(self, devid: int) -> list[IterRange]:
+        self._dead.add(devid)
+        self._rates.pop(devid, None)
+        if self._served[devid]:
+            return []
+        self._served[devid] = True
+        chunk = self._chunks[devid]
+        return [] if chunk.empty else [chunk]
+
+    def describe(self) -> str:
+        return f"{self.notation},a={self.alpha:g}"

@@ -41,6 +41,7 @@ class JobState(enum.Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    EXPIRED = "expired"
 
 
 @dataclass
@@ -56,12 +57,23 @@ class OffloadJob:
     ``policy`` is a paper Table II notation string, ``"AUTO"``, or a
     scheduler/Policy instance — exactly ``parallel_for``'s ``schedule``.
     ``tag`` is an opaque caller correlation id echoed on the result.
+
+    ``priority`` multiplies the tenant's fair-share weight for *this
+    job's* dequeue charge: a priority-4 job costs its tenant a quarter
+    of the stride pass a priority-1 job does, so under saturation the
+    tenant's high-priority jobs are served proportionally more often.
+    It never preempts running work and never jumps the within-tenant
+    FIFO.  ``deadline_s`` is a queue-residency budget: a job still
+    undispatched ``deadline_s`` seconds after submission resolves with a
+    typed ``EXPIRED`` result instead of running (handles never raise).
     """
 
     factory: Callable[[], LoopKernel]
     policy: Any = "AUTO"
     tenant: str = "default"
     tag: str = ""
+    priority: float = 1.0
+    deadline_s: float | None = None
     cutoff_ratio: "float | str" = 0.0
     seed: int = 0
     verify: bool = True
@@ -106,6 +118,29 @@ class OffloadJob:
                 )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise JobSpecError(f"job seed must be an int, got {self.seed!r}")
+        try:
+            priority = float(self.priority)
+        except (TypeError, ValueError):
+            raise JobSpecError(
+                f"job priority must be a positive number, got "
+                f"{self.priority!r}"
+            ) from None
+        if not 0.0 < priority < float("inf"):
+            raise JobSpecError(
+                f"job priority must be positive and finite, got {priority}"
+            )
+        if self.deadline_s is not None:
+            try:
+                deadline = float(self.deadline_s)
+            except (TypeError, ValueError):
+                raise JobSpecError(
+                    f"job deadline_s must be a positive number or None, "
+                    f"got {self.deadline_s!r}"
+                ) from None
+            if not deadline > 0.0:
+                raise JobSpecError(
+                    f"job deadline_s must be > 0, got {deadline}"
+                )
         if self.fault_plan is not None and not isinstance(
             self.fault_plan, FaultPlan
         ):
@@ -150,6 +185,11 @@ class JobResult:
     def cancelled(self) -> bool:
         """Whether the job was cancelled while still queued."""
         return self.state is JobState.CANCELLED
+
+    @property
+    def expired(self) -> bool:
+        """Whether the job's queue deadline elapsed before dispatch."""
+        return self.state is JobState.EXPIRED
 
     @property
     def latency_s(self) -> float:

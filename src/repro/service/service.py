@@ -44,7 +44,12 @@ from repro.bench.cache import SweepCache, get_cache, result_key
 from repro.bench.runner import verify_result
 from repro.engine.core import resolve_backend
 from repro.engine.trace import OffloadResult
-from repro.errors import JobCancelled, ServiceClosedError, ServiceError
+from repro.errors import (
+    JobCancelled,
+    JobExpired,
+    ServiceClosedError,
+    ServiceError,
+)
 from repro.machine.spec import MachineSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, obs_enabled
@@ -140,7 +145,8 @@ class OffloadService:
             clock=clock,
         )
         self._wfq = WeightedFairQueue(
-            weight_of=lambda tenant: self._admission.quota(tenant).weight
+            weight_of=lambda tenant: self._admission.quota(tenant).weight,
+            priority_of=lambda rec: rec.job.priority,
         )
         self.metrics = MetricsRegistry()
         self._runtime = HompRuntime(machine)  # device-selection helper only
@@ -295,6 +301,9 @@ class OffloadService:
                 continue
             _, rec = self._wfq.pop()
             self.metrics.set_gauge("service_queue_depth", float(len(self._wfq)))
+            if self._deadline_elapsed(rec):
+                self._expire(rec)
+                continue
             backend = self.backend
             if rec.group_key is not None:
                 backend = "batch"
@@ -328,7 +337,11 @@ class OffloadService:
                 mates = self._wfq.pop_matching(
                     lambda r: r.group_key == key, self.max_batch - 1
                 )
-                group.extend(r for _, r in mates)
+                for _, mate in mates:
+                    if self._deadline_elapsed(mate):
+                        self._expire(mate)
+                    else:
+                        group.append(mate)
                 self.metrics.set_gauge(
                     "service_queue_depth", float(len(self._wfq))
                 )
@@ -483,6 +496,42 @@ class OffloadService:
                 backend=backend,
                 submitted_at=rec.submitted_at,
                 started_at=rec.started_at,
+                finished_at=self._clock(),
+                metrics=rec.registry,
+            ),
+        )
+
+    def _deadline_elapsed(self, rec: _Pending) -> bool:
+        deadline = rec.job.deadline_s
+        return (
+            deadline is not None
+            and self._clock() - rec.submitted_at >= float(deadline)
+        )
+
+    def _expire(self, rec: _Pending) -> None:
+        """Resolve a queue-deadline overrun with a typed EXPIRED result.
+
+        Only undispatched jobs reach here: the deadline is checked as the
+        dispatcher pops the record (and as coalescing gathers mates), so
+        work already handed to an engine always runs to completion.  Like
+        cancellation, expiry resolves the handle — it never raises — and
+        releases the tenant's admission slot.
+        """
+        self.metrics.inc("service_jobs_expired", tenant=rec.job.tenant)
+        self._resolve(
+            rec,
+            JobResult(
+                job=rec.job,
+                state=JobState.EXPIRED,
+                result=None,
+                error=JobExpired(
+                    f"job (tenant {rec.job.tenant!r}, tag {rec.job.tag!r}) "
+                    f"spent longer than its deadline of "
+                    f"{float(rec.job.deadline_s)}s in the queue"
+                ),
+                backend=_backend_name(self.backend),
+                submitted_at=rec.submitted_at,
+                started_at=rec.submitted_at,
                 finished_at=self._clock(),
                 metrics=rec.registry,
             ),

@@ -1,0 +1,94 @@
+"""``stream(batches=N, window=W)`` clause: parsing, errors, round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DirectiveSyntaxError
+from repro.lang.pragma import parse_directive
+from repro.lang.render import render_directive
+from repro.lang.stream_clause import ParsedStream, parse_stream_clause
+
+STREAMED = (
+    "#pragma omp parallel for target device(*) "
+    "map(tofrom: x[0:n] partition([BLOCK])) "
+    "stream(batches=1000, window=64)"
+)
+
+
+class TestParseClause:
+    def test_batches_only(self):
+        assert parse_stream_clause("batches=10") == ParsedStream(batches=10)
+
+    def test_batches_and_window_any_order(self):
+        expect = ParsedStream(batches=5, window=7)
+        assert parse_stream_clause("batches=5, window=7") == expect
+        assert parse_stream_clause("window=7, batches=5") == expect
+
+    def test_parenthesised_body_accepted(self):
+        assert parse_stream_clause("(batches=3)") == ParsedStream(batches=3)
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "",
+            "window=4",            # batches is required
+            "batches",             # not key=value
+            "batches=ten",         # not an integer
+            "batches=2, depth=1",  # unknown key
+            "batches=2, batches=3",  # duplicate key
+        ],
+    )
+    def test_malformed_bodies_raise(self, body):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_stream_clause(body)
+
+    def test_bounds(self):
+        with pytest.raises(DirectiveSyntaxError):
+            ParsedStream(batches=0)
+        with pytest.raises(DirectiveSyntaxError):
+            ParsedStream(batches=1, window=-1)
+
+
+class TestDirectiveIntegration:
+    def test_directive_carries_stream(self):
+        d = parse_directive(STREAMED)
+        assert d.stream == ParsedStream(batches=1000, window=64)
+
+    def test_directive_without_stream_has_none(self):
+        d = parse_directive(
+            "#pragma omp parallel for target device(*) "
+            "map(tofrom: x[0:n] partition([BLOCK]))"
+        )
+        assert d.stream is None
+
+    def test_render_omits_zero_window(self):
+        d = parse_directive(STREAMED.replace(", window=64", ""))
+        text = render_directive(d)
+        assert "stream(batches=1000)" in text
+        assert "window" not in text
+
+    def test_round_trip_exact(self):
+        d = parse_directive(STREAMED)
+        text = render_directive(d)
+        assert parse_directive(text) == d
+        # Render is idempotent on its own output.
+        assert render_directive(parse_directive(text)) == text
+
+
+@given(
+    batches=st.integers(min_value=1, max_value=10**6),
+    window=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_stream_round_trip(batches, window):
+    clause = (
+        f"stream(batches={batches}, window={window})"
+        if window
+        else f"stream(batches={batches})"
+    )
+    text = (
+        "#pragma omp parallel for target device(*) "
+        f"map(tofrom: x[0:n] partition([BLOCK])) {clause}"
+    )
+    d = parse_directive(text)
+    assert d.stream == ParsedStream(batches=batches, window=window)
+    assert parse_directive(render_directive(d)) == d

@@ -29,6 +29,7 @@ class TestRegistry:
             "ALIGN",
             "HISTORY_AUTO",
             "WORK_STEALING",
+            "STREAM_REBALANCE",
         }
 
     def test_make_scheduler_case_insensitive(self):
@@ -50,7 +51,7 @@ class TestRegistry:
     def test_table2_rows_consistent_with_classes(self):
         notations = {row.notation.split(",")[0] for row in ALGORITHM_TABLE}
         assert notations == set(SCHEDULERS) - {
-            "ALIGN", "HISTORY_AUTO", "WORK_STEALING"
+            "ALIGN", "HISTORY_AUTO", "WORK_STEALING", "STREAM_REBALANCE"
         }
         for row in ALGORITHM_TABLE:
             cls = SCHEDULERS[row.notation.split(",")[0]]
@@ -66,7 +67,9 @@ class TestRegistry:
         # "CUTOFF ratio is only applicable to the last four algorithms"
         supports = {
             name: cls().supports_cutoff for name, cls in SCHEDULERS.items()
-            if name not in ("ALIGN", "HISTORY_AUTO", "WORK_STEALING")
+            if name not in (
+                "ALIGN", "HISTORY_AUTO", "WORK_STEALING", "STREAM_REBALANCE"
+            )
         }
         assert supports == {
             "BLOCK": False,
@@ -92,12 +95,14 @@ class TestRegistryAudit:
     def test_extension_rows_name_registered_classes(self):
         from repro.sched.align_sched import AlignedScheduler
         from repro.sched.history import HistoryScheduler
+        from repro.sched.stream_rebalance import StreamRebalanceScheduler
         from repro.sched.worksteal import WorkStealingScheduler
 
         expected = {
             "ALIGN": AlignedScheduler,
             "HISTORY_AUTO": HistoryScheduler,
             "WORK_STEALING": WorkStealingScheduler,
+            "STREAM_REBALANCE": StreamRebalanceScheduler,
         }
         for row in EXTENSION_TABLE:
             name = row.notation.split(",")[0]

@@ -1,0 +1,152 @@
+"""STREAM_REBALANCE: EWMA rebalancing, BLOCK degrade, cutoff, loss."""
+
+import pytest
+
+from repro.engine.simulator import OffloadEngine
+from repro.errors import SchedulingError
+from repro.faults.plan import FaultPlan, Slowdown
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import gpu4_node
+from repro.sched.base import SchedContext
+from repro.sched.block import BlockScheduler
+from repro.sched.stream_rebalance import StreamRebalanceScheduler
+from repro.util.ranges import IterRange
+
+
+def ctx(n=1000, machine=None, cutoff=0.0):
+    machine = machine or gpu4_node()
+    return SchedContext(
+        kernel=make_kernel("axpy", n),
+        devices=list(machine.devices),
+        cutoff_ratio=cutoff,
+    )
+
+
+def drain(s, ndev):
+    out = {}
+    for d in range(ndev):
+        chunk = s.next(d)
+        if chunk is not None:
+            out[d] = chunk
+        assert s.next(d) is None  # one chunk per device per batch
+    return out
+
+
+def test_alpha_validation():
+    with pytest.raises(SchedulingError):
+        StreamRebalanceScheduler(alpha=0.0)
+    with pytest.raises(SchedulingError):
+        StreamRebalanceScheduler(alpha=1.5)
+
+
+def test_describe_names_alpha():
+    assert StreamRebalanceScheduler(alpha=0.25).describe() == (
+        "STREAM_REBALANCE,a=0.25"
+    )
+
+
+def test_no_history_degrades_to_block():
+    s = StreamRebalanceScheduler()
+    b = BlockScheduler()
+    c1, c2 = ctx(), ctx()
+    s.start(c1)
+    b.start(c2)
+    assert drain(s, 4) == {d: b.next(d) for d in range(4)}
+
+
+def test_chunks_cover_iteration_space_exactly():
+    s = StreamRebalanceScheduler()
+    s.start(ctx(n=997))
+    chunks = sorted(drain(s, 4).values(), key=lambda c: c.start)
+    assert chunks[0].start == 0
+    assert chunks[-1].stop == 997
+    for prev, nxt in zip(chunks, chunks[1:]):
+        assert prev.stop == nxt.start  # contiguous, no overlap, no gap
+
+
+def test_observed_rates_shift_the_next_split():
+    s = StreamRebalanceScheduler(alpha=1.0)
+    s.start(ctx())
+    drain(s, 4)
+    # Device 0 measured 4x slower than the rest.
+    s.observe(0, IterRange(0, 100), 4.0)
+    for d in (1, 2, 3):
+        s.observe(d, IterRange(0, 100), 1.0)
+    s.start(ctx())
+    sizes = {d: len(c) for d, c in drain(s, 4).items()}
+    assert sizes[0] < sizes[1]
+    # 25 : 100 : 100 : 100 weights over 1000 iters.
+    assert sizes[0] == pytest.approx(1000 * 25 / 325, abs=1)
+
+
+def test_ewma_folds_with_alpha():
+    s = StreamRebalanceScheduler(alpha=0.5)
+    s.observe(0, IterRange(0, 100), 1.0)  # rate 100
+    s.observe(0, IterRange(0, 200), 1.0)  # rate 200 -> EWMA 150
+    assert s._rates[0] == pytest.approx(150.0)
+
+
+def test_unknown_device_seeded_with_mean_rate():
+    s = StreamRebalanceScheduler(alpha=1.0)
+    s.observe(0, IterRange(0, 100), 1.0)
+    s.observe(1, IterRange(0, 300), 1.0)
+    s.start(ctx())  # devices 2 and 3 have no history
+    sizes = {d: len(c) for d, c in drain(s, 4).items()}
+    # mean(100, 300) = 200 for the unknowns: weights 100:300:200:200.
+    assert sizes[2] == sizes[3]
+    assert sizes[0] < sizes[2] < sizes[1]
+
+
+def test_cutoff_zeroes_slow_devices():
+    s = StreamRebalanceScheduler(alpha=1.0)
+    s.observe(0, IterRange(0, 10), 1.0)  # 1.25% of total rate
+    for d in (1, 2, 3):
+        s.observe(d, IterRange(0, 263), 1.0)
+    s.start(ctx(cutoff=0.05))
+    chunks = drain(s, 4)
+    assert 0 not in chunks  # below the 5% cutoff: no chunk at all
+    assert sum(len(c) for c in chunks.values()) == 1000
+
+
+def test_device_lost_surrenders_unserved_chunk():
+    s = StreamRebalanceScheduler()
+    s.start(ctx())
+    surrendered = s.device_lost(2)
+    assert len(surrendered) == 1
+    assert s.next(2) is None  # the dead device gets nothing
+
+
+def test_lost_device_stays_dead_across_batches():
+    s = StreamRebalanceScheduler()
+    s.start(ctx())
+    drain(s, 4)
+    s.device_lost(3)
+    assert s.device_lost(3) == []  # already served/declared
+    s.start(ctx())  # next batch of the same stream
+    chunks = drain(s, 4)
+    assert 3 not in chunks
+    assert sum(len(c) for c in chunks.values()) == 1000
+
+
+def test_all_devices_lost_raises():
+    s = StreamRebalanceScheduler()
+    s.start(ctx())
+    for d in range(4):
+        s.device_lost(d)
+    with pytest.raises(SchedulingError, match="every device"):
+        s.start(ctx())
+
+
+def test_engine_integration_rebalances_around_slowdown():
+    """Across repeated runs, a slowed device sheds iterations."""
+    plan = FaultPlan.of(
+        Slowdown(devid=0, factor=8.0, t_start=0.0, t_end=10.0)
+    )
+    s = StreamRebalanceScheduler()
+    eng = OffloadEngine(machine=gpu4_node(), fault_plan=plan)
+    first = eng.run(make_kernel("axpy", 40_000), s)
+    second = eng.run(make_kernel("axpy", 40_000), s)
+    iters = lambda r: {t.devid: t.iters for t in r.traces}
+    assert iters(first)[0] == pytest.approx(10_000, abs=2)  # static split
+    assert iters(second)[0] < iters(first)[0] / 2  # rebalanced away
+    assert second.total_time_s < first.total_time_s

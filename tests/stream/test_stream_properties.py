@@ -1,0 +1,181 @@
+"""Property suite for stream batch sequencing (hypothesis).
+
+Three families of invariants over arbitrary stream shapes:
+
+* **Item conservation** — every batch of every stream distributes the
+  kernel's full iteration space: per-batch trace iters sum to
+  ``n_iters``, and the stream yields exactly ``batches`` results with
+  strictly increasing cumulative finish times.
+* **Degenerate equality** — a 1-batch stream *is* the one-shot path:
+  byte-identical (pickle-equal) results on both the ``virtual`` and
+  ``batch`` backends, and equal checksums.
+* **Rebalance exact cover** — whatever rate history STREAM_REBALANCE
+  has accumulated, its per-batch split is a contiguous, gap-free,
+  overlap-free partition of the iteration space.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import OnlineSumKernel, SlidingStencilKernel
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import full_node, gpu4_node
+from repro.runtime import HompRuntime
+from repro.sched.base import SchedContext
+from repro.sched.stream_rebalance import StreamRebalanceScheduler
+from repro.util.ranges import IterRange
+
+
+# -- item conservation --------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(
+    batches=st.integers(min_value=1, max_value=6),
+    window=st.integers(min_value=0, max_value=64),
+    schedule=st.sampled_from(["BLOCK", "STREAM_REBALANCE", "SCHED_DYNAMIC"]),
+)
+def test_every_batch_conserves_iterations(batches, window, schedule):
+    rt = HompRuntime(machine=gpu4_node())
+    kernel = OnlineSumKernel(512, seed=2)
+    sr = rt.stream(kernel, batches=batches, window=window, schedule=schedule)
+    assert len(sr.results) == batches
+    assert sr.batches == batches
+    for result in sr.results:
+        assert sum(t.iters for t in result.traces) == kernel.n_iters
+    # Cumulative stream times are strictly increasing, so every
+    # per-batch latency is positive.
+    assert all(dt > 0 for dt in sr.batch_times_s)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    batches=st.integers(min_value=2, max_value=5),
+    devices=st.lists(
+        st.integers(min_value=0, max_value=3),
+        min_size=1, max_size=4, unique=True,
+    ),
+)
+def test_conservation_holds_on_any_device_subset(batches, devices):
+    rt = HompRuntime(machine=gpu4_node())
+    kernel = OnlineSumKernel(300, seed=4)
+    sr = rt.stream(
+        kernel, batches=batches, window=16,
+        schedule="STREAM_REBALANCE", devices=list(devices),
+    )
+    for result in sr.results:
+        assert sum(t.iters for t in result.traces) == kernel.n_iters
+        assert len(result.traces) == len(devices)
+
+
+# -- degenerate stream == one-shot -------------------------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(
+    name=st.sampled_from(["axpy", "sum", "stencil"]),
+    schedule=st.sampled_from(["BLOCK", "MODEL_1_AUTO"]),
+    executor=st.sampled_from(["virtual", "batch"]),
+)
+def test_degenerate_stream_pickles_identically(name, schedule, executor):
+    n = 64 if name == "stencil" else 512
+    sr = HompRuntime(machine=full_node()).stream(
+        make_kernel(name, n, seed=7),
+        batches=1, window=32, schedule=schedule, executor=executor,
+    )
+    one_shot = HompRuntime(machine=full_node()).parallel_for(
+        make_kernel(name, n, seed=7), schedule=schedule, executor=executor,
+    )
+    assert sr.meta == {"degenerate": True}
+    assert pickle.dumps(sr.results[0]) == pickle.dumps(one_shot)
+
+
+def test_degenerate_checksum_equals_one_shot():
+    k_stream = SlidingStencilKernel(64, seed=9)
+    k_solo = SlidingStencilKernel(64, seed=9)
+    HompRuntime(machine=gpu4_node()).stream(
+        k_stream, batches=1, window=8, schedule="BLOCK"
+    )
+    HompRuntime(machine=gpu4_node()).parallel_for(k_solo, schedule="BLOCK")
+    assert k_stream.checksum() == k_solo.checksum()
+
+
+# -- multi-batch checksum equality across schedulers --------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(
+    batches=st.integers(min_value=2, max_value=5),
+    window=st.integers(min_value=1, max_value=48),
+)
+def test_stream_checksum_is_scheduler_invariant(batches, window):
+    def run(schedule):
+        kernel = SlidingStencilKernel(64, seed=11)
+        HompRuntime(machine=full_node()).stream(
+            kernel, batches=batches, window=window, schedule=schedule
+        )
+        return kernel.checksum()
+
+    assert run("BLOCK") == run("STREAM_REBALANCE")
+
+
+# -- rebalance split exact cover ----------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=10_000),
+    rates=st.lists(
+        st.one_of(
+            st.none(),
+            st.floats(min_value=0.01, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1, max_size=4,
+    ),
+    data=st.data(),
+)
+def test_rebalance_split_exactly_covers_iter_space(n, rates, data):
+    machine = gpu4_node()
+    ndev = len(rates)
+    s = StreamRebalanceScheduler()
+    for devid, rate in enumerate(rates):
+        if rate is not None:
+            s._rates[devid] = rate
+    ctx = SchedContext(
+        kernel=make_kernel("axpy", n),
+        devices=list(machine.devices)[:ndev],
+    )
+    s.start(ctx)
+    chunks = []
+    for d in range(ndev):
+        chunk = s.next(d)
+        if chunk is not None:
+            chunks.append(chunk)
+        assert s.next(d) is None
+    chunks.sort(key=lambda c: c.start)
+    assert chunks, "some device must receive work"
+    assert chunks[0].start == 0
+    assert chunks[-1].stop == n
+    for prev, nxt in zip(chunks, chunks[1:]):
+        assert prev.stop == nxt.start
+    assert sum(len(c) for c in chunks) == n
+    # A random subset of devices may also die mid-batch; surrendered
+    # chunks plus served chunks still tile the space exactly once.
+    lost = data.draw(
+        st.lists(st.integers(min_value=0, max_value=ndev - 1),
+                 max_size=ndev, unique=True)
+    )
+    s.start(SchedContext(
+        kernel=make_kernel("axpy", n),
+        devices=list(machine.devices)[:ndev],
+    ))
+    covered = []
+    for d in range(ndev):
+        if d in lost:
+            covered.extend(s.device_lost(d))
+        else:
+            chunk = s.next(d)
+            if chunk is not None:
+                covered.append(chunk)
+    covered.sort(key=lambda c: c.start)
+    assert sum(len(c) for c in covered) == n
+    for prev, nxt in zip(covered, covered[1:]):
+        assert prev.stop == nxt.start
